@@ -1,0 +1,33 @@
+"""Ablation benches for the design choices called out in DESIGN.md."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_decay_mu(regen, profile):
+    """Eq. 9's frequency decay exponent μ."""
+    report = regen(ablations.run_decay_ablation, "lastfm", profile)
+    assert len(report.rows) == 5
+
+
+def test_ablation_phi(regen, profile):
+    """Clip vs smooth φ in the Theorem 2 probability bound."""
+    report = regen(ablations.run_phi_ablation, "lastfm", profile)
+    assert len(report.rows) == 2
+
+
+def test_ablation_accountant(regen):
+    """Theorem 3 binomial-mixture accounting vs the Poisson-subsampled bound."""
+    report = regen(ablations.run_accountant_ablation)
+    assert len(report.rows) == 4
+
+
+def test_ablation_boundary_divisor(regen, profile):
+    """BES's stage-2 subgraph-size divisor s."""
+    report = regen(ablations.run_boundary_divisor_ablation, "lastfm", profile)
+    assert len(report.rows) == 4
+
+
+def test_ablation_diffusion_steps(regen, profile):
+    """The loss's diffusion depth j (Eq. 5)."""
+    report = regen(ablations.run_diffusion_steps_ablation, "lastfm", profile)
+    assert len(report.rows) == 3

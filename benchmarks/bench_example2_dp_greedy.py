@@ -1,0 +1,8 @@
+"""Example 2 — directly privatised greedy IM collapses to random."""
+
+from repro.experiments import example2
+
+
+def test_example2_dp_greedy_fails(regen, profile):
+    report = regen(example2.run, "lastfm", profile)
+    assert len(report.rows) == 5

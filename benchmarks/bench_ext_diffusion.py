@@ -1,0 +1,8 @@
+"""Future-work extension bench: seed transfer across IC / LT / SIS."""
+
+from repro.experiments import diffusion_models
+
+
+def test_extension_diffusion_models(regen, profile):
+    report = regen(diffusion_models.run, "lastfm", profile)
+    assert len(report.rows) == 4  # 3 methods + random baseline

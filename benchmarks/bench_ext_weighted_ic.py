@@ -1,0 +1,8 @@
+"""Generality extension bench: probabilistic IC weights."""
+
+from repro.experiments import weighted_ic
+
+
+def test_extension_weighted_ic(regen, profile):
+    report = regen(weighted_ic.run, "lastfm", profile)
+    assert len(report.rows) == 5  # RIS + 3 methods + random

@@ -1,0 +1,11 @@
+"""Figure 13 — naive PrivIM's coverage ratio vs the in-degree bound θ (ε = 3)."""
+
+import pytest
+
+from repro.experiments import param_study
+
+
+@pytest.mark.parametrize("dataset", ["lastfm", "facebook"])
+def test_fig13_theta_sweep(regen, profile, dataset):
+    report = regen(param_study.run_theta_study, dataset, profile)
+    assert len(report.rows) == len(param_study.THETA_GRID)

@@ -1,0 +1,8 @@
+"""Figure 14 — the HepPh spread-vs-ε panel (appendix J)."""
+
+from repro.experiments import fig5
+
+
+def test_fig14_hepph_panel(regen, profile):
+    report = regen(fig5.run_hepph, profile)
+    assert report.experiment_id == "Fig. 14"

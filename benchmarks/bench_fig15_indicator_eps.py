@@ -1,0 +1,9 @@
+"""Figure 15 — indicator vs empirical at ε ∈ {1, 6} on LastFM (appendix K)."""
+
+from repro.experiments import fig_indicator
+
+
+def test_fig15_indicator_across_budgets(regen, profile):
+    reports = regen(fig_indicator.run_epsilon_variants, "lastfm", profile)
+    assert len(reports) == 2
+    assert all(report.experiment_id == "Fig. 15" for report in reports)

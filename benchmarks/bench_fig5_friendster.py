@@ -1,0 +1,8 @@
+"""Figure 5 (Friendster panel) — partitioned large-graph training."""
+
+from repro.experiments import friendster
+
+
+def test_fig5_friendster_partitioned(regen, profile):
+    report = regen(friendster.run, profile)
+    assert len(report.rows) == len(friendster.FRIENDSTER_METHODS)

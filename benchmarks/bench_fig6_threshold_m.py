@@ -1,0 +1,11 @@
+"""Figures 6/10 — PrivIM* spread vs the frequency threshold M (ε = 3)."""
+
+import pytest
+
+from repro.experiments import param_study
+
+
+@pytest.mark.parametrize("dataset", ["facebook", "gowalla"])
+def test_fig6_threshold_sweep(regen, profile, dataset):
+    report = regen(param_study.run_threshold_study, dataset, profile)
+    assert len(report.series) == len(param_study.N_GRID_FOR_M_STUDY)

@@ -1,0 +1,11 @@
+"""Figures 7/11 — PrivIM* spread vs the subgraph size n (ε = 3)."""
+
+import pytest
+
+from repro.experiments import param_study
+
+
+@pytest.mark.parametrize("dataset", ["lastfm", "gowalla"])
+def test_fig7_subgraph_size_sweep(regen, profile, dataset):
+    report = regen(param_study.run_subgraph_size_study, dataset, profile)
+    assert len(report.rows) == len(param_study.N_GRID)

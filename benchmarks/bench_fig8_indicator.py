@@ -1,0 +1,14 @@
+"""Figures 8/12 — indicator theoretical values vs empirical spread (ε = 3)."""
+
+from repro.experiments import fig_indicator
+
+
+def test_fig8_indicator_m_sweep(regen, profile):
+    report = regen(fig_indicator.run_m_sweep, "lastfm", profile)
+    series = report.series_dict()
+    assert "lastfm/indicator" in series and "lastfm/empirical" in series
+
+
+def test_fig8_indicator_n_sweep(regen, profile):
+    report = regen(fig_indicator.run_n_sweep, "lastfm", profile)
+    assert len(report.series) == 2

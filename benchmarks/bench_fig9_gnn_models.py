@@ -1,0 +1,8 @@
+"""Figure 9 — PrivIM* with GRAT/GCN/GAT/GIN/GraphSAGE at ε ∈ {2, 5}."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_gnn_model_comparison(regen, profile):
+    report = regen(fig9.run, profile)
+    assert len(report.rows) == len(fig9.GNN_MODELS) * len(fig9.FIG9_EPSILONS)

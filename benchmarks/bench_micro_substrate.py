@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Unlike the table/figure benches, these use pytest-benchmark's normal
+multi-round statistics — they measure the throughput of the pieces the
+experiments are built from (sampling, one DP-SGD step, CELF, accounting).
+"""
+
+import numpy as np
+
+from repro.core.trainer import DPGNNTrainer, DPTrainingConfig
+from repro.datasets.registry import load_dataset
+from repro.dp.accountant import PrivacyAccountant
+from repro.gnn.models import build_gnn
+from repro.im.celf import celf_coverage
+from repro.sampling.dual_stage import DualStageSamplingConfig, extract_subgraphs_dual_stage
+from repro.sampling.naive import NaiveSamplingConfig, extract_subgraphs_naive
+
+
+def _graph():
+    return load_dataset("lastfm", scale=0.1)
+
+
+def test_bench_dual_stage_sampling(benchmark):
+    graph = _graph()
+    config = DualStageSamplingConfig(subgraph_size=30, threshold=4, sampling_rate=0.4)
+    result = benchmark(extract_subgraphs_dual_stage, graph, config, 0)
+    assert len(result.container) > 0
+
+
+def test_bench_naive_sampling(benchmark):
+    graph = _graph()
+    config = NaiveSamplingConfig(subgraph_size=30, sampling_rate=0.4)
+    container, _ = benchmark(extract_subgraphs_naive, graph, config, 0)
+    assert container is not None
+
+
+def test_bench_dp_sgd_step(benchmark):
+    graph = _graph()
+    container = extract_subgraphs_dual_stage(
+        graph, DualStageSamplingConfig(subgraph_size=30, threshold=4, sampling_rate=0.4), 0
+    ).container
+    model = build_gnn("grat", rng=0)
+    trainer = DPGNNTrainer(
+        model,
+        container,
+        DPTrainingConfig(iterations=1, batch_size=8, sigma=1.0, max_occurrences=4),
+        rng=0,
+    )
+    benchmark(trainer.train_step)
+
+
+def test_bench_celf_ground_truth(benchmark):
+    graph = _graph()
+    seeds, spread = benchmark(celf_coverage, graph, 20)
+    assert spread > 0
+
+
+def test_bench_privacy_accounting(benchmark):
+    def account():
+        accountant = PrivacyAccountant(1.5, 16, 300, 4)
+        accountant.step(100)
+        return accountant.epsilon(1e-5)
+
+    epsilon = benchmark(account)
+    assert np.isfinite(epsilon)
+
+
+def test_bench_full_graph_inference(benchmark):
+    graph = _graph()
+    model = build_gnn("grat", rng=0)
+    from repro.core.seed_selection import score_nodes
+
+    scores = benchmark(score_nodes, model, graph)
+    assert scores.shape == (graph.num_nodes,)

@@ -1,0 +1,8 @@
+"""Table I — dataset statistics (paper vs generated equivalents)."""
+
+from repro.experiments import table1
+
+
+def test_table1_dataset_statistics(regen, profile):
+    report = regen(table1.run, profile)
+    assert len(report.rows) == 7

@@ -1,0 +1,9 @@
+"""Table II — coverage-ratio ablation (PrivIM / +SCS / +SCS+BES) at ε ∈ {4, 1}."""
+
+from repro.experiments import table2
+
+
+def test_table2_sampling_ablation(regen, profile):
+    report = regen(table2.run, profile)
+    # Non-private row + 3 ablation rows per epsilon block.
+    assert len(report.rows) == 1 + 2 * 3

@@ -1,0 +1,8 @@
+"""Table III — preprocessing and per-epoch training time per method."""
+
+from repro.experiments import table3
+
+
+def test_table3_time_cost(regen, profile):
+    report = regen(table3.run, profile)
+    assert len(report.rows) == 8  # 4 methods x 2 phases

@@ -1,0 +1,55 @@
+"""Shared machinery for the benchmark suite.
+
+Every bench regenerates one of the paper's tables or figures at the profile
+selected by the ``REPRO_BENCH_PROFILE`` environment variable (default
+``quick``; set ``smoke`` for a fast validation pass, ``full`` for the
+largest practical scale).  Each experiment runs exactly once inside
+``benchmark.pedantic`` — the timing pytest-benchmark reports is the cost of
+regenerating that artefact — and the regenerated rows/series are printed so
+the run log doubles as the reproduction record.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.profiles import get_profile
+
+_PROFILE_NAME = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The benchmark scale profile."""
+    return get_profile(_PROFILE_NAME)
+
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results", _PROFILE_NAME)
+
+
+@pytest.fixture
+def regen(benchmark, request):
+    """Run an experiment once under the benchmark timer and record it.
+
+    The rendered rows/series are printed (visible with ``-s``) *and*
+    written to ``benchmarks/results/<profile>/<bench>.txt`` so the
+    regenerated artefacts survive pytest's output capture.  Returns the
+    experiment's report (or list of reports) so the bench can assert on
+    its shape.
+    """
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        reports = result if isinstance(result, list) else [result]
+        rendered = "\n\n".join(report.render() for report in reports)
+        print()
+        print(rendered)
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        artefact = os.path.join(_RESULTS_DIR, f"{request.node.name}.txt")
+        with open(artefact, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        return result
+
+    return _run

@@ -1,0 +1,79 @@
+"""Outbreak monitoring under different diffusion models.
+
+The paper's introduction motivates IM with network monitoring and rumor
+blocking; its future-work section proposes extending PrivIM to the Linear
+Threshold (LT) and SIS diffusion models.  This example trains one private
+model and evaluates its seed set as *monitor placements* under all three
+diffusion models implemented in :mod:`repro.im` — the same seeds, three
+different epidemic dynamics — against random placement.
+
+Run:  python examples/outbreak_monitoring.py
+"""
+
+import numpy as np
+
+from repro import PrivIMConfig, PrivIMStar, load_dataset
+from repro.experiments.harness import split_graph
+from repro.im import estimate_spread, random_seeds
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # A sparse social network: hub selection matters here, unlike in dense
+    # institutional graphs where any placement saturates quickly.
+    graph = load_dataset("lastfm", scale=0.1)
+    train_graph, monitored = split_graph(graph, 0.5, rng=3)
+    print(
+        f"monitored network: {monitored.num_nodes} accounts, "
+        f"{monitored.num_edges} message arcs\n"
+    )
+
+    pipeline = PrivIMStar(
+        PrivIMConfig(epsilon=4.0, subgraph_size=25, threshold=4,
+                     iterations=40, batch_size=8, rng=5)
+    )
+    result = pipeline.fit(train_graph)
+    print(f"monitor model trained under epsilon={result.epsilon:.2f} node-level DP\n")
+
+    budget = 15
+    monitors = pipeline.select_seeds(monitored, budget)
+
+    # Evaluate the *reach* of each placement under three dynamics; a
+    # placement that reaches more of the network observes outbreaks sooner.
+    # The random baseline is averaged over several independent draws.
+    stochastic = monitored.with_uniform_weights(0.25)
+    rows = []
+    for model, steps in (("ic", 3), ("lt", 3), ("sis", 5)):
+        reach_model = estimate_spread(
+            stochastic, monitors, model=model, steps=steps,
+            num_simulations=50, rng=1,
+        )
+        reach_random = float(
+            np.mean(
+                [
+                    estimate_spread(
+                        stochastic,
+                        random_seeds(monitored, budget, seed),
+                        model=model,
+                        steps=steps,
+                        num_simulations=50,
+                        rng=1,
+                    )
+                    for seed in range(3)
+                ]
+            )
+        )
+        rows.append([model.upper(), round(reach_model, 1), round(reach_random, 1),
+                     f"{reach_model / max(reach_random, 1e-9):.2f}x"])
+
+    print(
+        format_table(
+            ["diffusion", "PrivIM* monitors", "random monitors", "advantage"],
+            rows,
+            title=f"expected reach of {budget} monitor placements",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""A tour of PrivIM's privacy accounting (Theorem 3).
+
+Shows, without training anything, why the dual-stage sampler wins:
+
+1. the occurrence bound N_g — Lemma 1's exponential growth in GNN depth
+   for the naive sampler vs the flat cap M of the dual-stage sampler;
+2. the noise multiplier sigma each bound needs at a fixed (eps, delta);
+3. the actual per-coordinate noise magnitude sigma * C * N_g, which is
+   what utility pays — the quantity Figure 5's gaps come from;
+4. the eps-vs-iterations composition curve.
+
+Run:  python examples/privacy_accounting_tour.py
+"""
+
+from repro.dp import (
+    PrivacyAccountant,
+    calibrate_sigma,
+    max_occurrences_dual_stage,
+    max_occurrences_naive,
+    node_level_sensitivity,
+)
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    clip_bound = 1.0
+    batch_size, num_subgraphs, steps = 16, 300, 60
+    epsilon, delta = 4.0, 1e-4
+
+    # 1-3. Occurrence bounds and the noise they force.
+    rows = []
+    samplers = [
+        ("naive, theta=10, r=1", max_occurrences_naive(10, 1)),
+        ("naive, theta=10, r=2", max_occurrences_naive(10, 2)),
+        ("naive, theta=10, r=3", max_occurrences_naive(10, 3)),
+        ("dual-stage, M=4", max_occurrences_dual_stage(4)),
+        ("dual-stage, M=8", max_occurrences_dual_stage(8)),
+    ]
+    for label, occurrences in samplers:
+        sigma = calibrate_sigma(
+            epsilon,
+            delta,
+            steps=steps,
+            batch_size=batch_size,
+            num_subgraphs=num_subgraphs,
+            max_occurrences=min(occurrences, num_subgraphs),
+        )
+        sensitivity = node_level_sensitivity(clip_bound, occurrences)
+        rows.append(
+            [label, occurrences, round(sigma, 4), round(sigma * sensitivity, 2)]
+        )
+    print(
+        format_table(
+            ["sampler", "N_g", "sigma for eps=4", "noise std per coordinate"],
+            rows,
+            title="why the dual-stage sampler wins (Lemma 1 vs the M cap)",
+        )
+    )
+    print()
+
+    # 4. Composition: eps as training runs longer at fixed sigma.
+    sigma = 1.5
+    rows = []
+    for total_steps in (10, 30, 60, 120, 240):
+        accountant = PrivacyAccountant(sigma, batch_size, num_subgraphs, 4)
+        accountant.step(total_steps)
+        rows.append([total_steps, round(accountant.epsilon(delta), 3)])
+    print(
+        format_table(
+            ["iterations T", "epsilon"],
+            rows,
+            title=f"RDP composition at sigma={sigma}, M=4",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

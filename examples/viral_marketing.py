@@ -1,0 +1,72 @@
+"""Viral marketing with a privacy guarantee.
+
+The paper's motivating scenario: a company wants to seed a promotion with
+the most influential users of a social network, but the network is built
+from individual users' private data, so the seed-selection model must not
+leak any single user's presence.  This example:
+
+1. builds a Gowalla-like check-in friendship network;
+2. trains PrivIM* at several privacy budgets (the marketing team's policy
+   choices) plus the non-private upper bound;
+3. sweeps the campaign budget k and prints the reach each policy achieves,
+   next to CELF (no privacy) and the naive degree heuristic.
+
+Run:  python examples/viral_marketing.py
+"""
+
+from repro import PrivIMConfig, PrivIMStar, load_dataset
+from repro.baselines.nonprivate import NonPrivatePipeline
+from repro.experiments.harness import split_graph
+from repro.im import celf_coverage, coverage_spread, degree_seeds
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    graph = load_dataset("gowalla", scale=0.005)  # ~1k users
+    train_graph, market = split_graph(graph, 0.5, rng=1)
+    print(f"customer network: {market.num_nodes} users, {market.num_edges} ties\n")
+
+    budgets = [5, 10, 20, 40]
+    policies = {
+        "strict (eps=1)": 1.0,
+        "moderate (eps=3)": 3.0,
+        "relaxed (eps=6)": 6.0,
+    }
+
+    # Train one model per privacy policy.
+    models = {}
+    for label, epsilon in policies.items():
+        pipeline = PrivIMStar(
+            PrivIMConfig(epsilon=epsilon, subgraph_size=30, threshold=4,
+                         iterations=40, batch_size=8, rng=11)
+        )
+        pipeline.fit(train_graph)
+        models[label] = pipeline
+    reference = NonPrivatePipeline(
+        PrivIMConfig(subgraph_size=30, threshold=4, iterations=40, batch_size=8, rng=11)
+    )
+    reference.fit(train_graph)
+
+    rows = []
+    for budget in budgets:
+        _, celf_spread = celf_coverage(market, budget)
+        row = [budget, celf_spread]
+        row.append(coverage_spread(market, degree_seeds(market, budget)))
+        row.append(
+            coverage_spread(market, reference.select_seeds(market, budget))
+        )
+        for label in policies:
+            seeds = models[label].select_seeds(market, budget)
+            row.append(coverage_spread(market, seeds))
+        rows.append(row)
+
+    headers = ["k", "CELF", "degree", "non-private", *policies.keys()]
+    print(format_table(headers, rows, title="campaign reach (users influenced)"))
+    print(
+        "\nReading the table: stronger privacy (smaller eps) costs reach; "
+        "the marketing team can price that trade-off per campaign."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Competitor methods from the paper's evaluation (Section V-A)."""
+
+from repro.baselines.egn import EGNConfig, EGNPipeline
+from repro.baselines.hp import HPConfig, HPPipeline
+from repro.baselines.nonprivate import NonPrivatePipeline
+from repro.baselines.dp_greedy import dp_greedy_im, marginal_gain_sensitivity
+
+__all__ = [
+    "EGNConfig",
+    "EGNPipeline",
+    "HPConfig",
+    "HPPipeline",
+    "NonPrivatePipeline",
+    "dp_greedy_im",
+    "marginal_gain_sensitivity",
+]

@@ -1,0 +1,20 @@
+"""The Non-Private reference: PrivIM* with ε = ∞ (Section V-A)."""
+
+from __future__ import annotations
+
+from repro.core.pipeline import PrivIMConfig, PrivIMStar, non_private_config
+
+
+class NonPrivatePipeline(PrivIMStar):
+    """PrivIM* without clipping noise — the ε = ∞ upper reference.
+
+    In Figure 5 / Table II the non-private model's spread sits within a
+    couple of percent of CELF's; any private method is upper-bounded by it.
+    """
+
+    method_name = "Non-Private"
+
+    def __init__(self, config: PrivIMConfig | None = None) -> None:
+        base = config or PrivIMConfig()
+        super().__init__(non_private_config(base))
+        self.method_name = "Non-Private"

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``train``      — fit a pipeline on a dataset, report privacy + utility,
+  optionally save a checkpoint;
+* ``seeds``      — load a checkpoint and print the top-k seed set;
+* ``datasets``   — list the dataset registry (Table I);
+* ``experiment`` — regenerate one of the paper's tables/figures;
+* ``calibrate``  — print the noise multiplier for a privacy target.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.checkpoint import load_model, save_model
+from repro.core.pipeline import PrivIM, PrivIMConfig, PrivIMStar
+from repro.core.seed_selection import select_top_k_seeds
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.dp.accountant import calibrate_sigma
+from repro.experiments.harness import split_graph
+from repro.im.celf import celf_coverage
+from repro.im.metrics import coverage_ratio
+from repro.im.spread import coverage_spread
+from repro.utils.tables import format_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PrivIM: differentially private GNNs for influence maximization",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    train = commands.add_parser("train", help="train a private IM model")
+    train.add_argument("--dataset", default="lastfm", choices=sorted(DATASETS))
+    train.add_argument("--scale", type=float, default=0.1)
+    train.add_argument("--epsilon", type=float, default=4.0,
+                       help="privacy budget; <= 0 means non-private")
+    train.add_argument("--method", default="privim-star",
+                       choices=["privim-star", "privim-scs", "privim"])
+    train.add_argument("--model", default="grat")
+    train.add_argument("--subgraph-size", type=int, default=30)
+    train.add_argument("--threshold", type=int, default=4)
+    train.add_argument("--iterations", type=int, default=40)
+    train.add_argument("--k", type=int, default=20)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--save", help="checkpoint path (.npz)")
+
+    seeds = commands.add_parser("seeds", help="select seeds with a checkpoint")
+    seeds.add_argument("checkpoint")
+    seeds.add_argument("--dataset", default="lastfm", choices=sorted(DATASETS))
+    seeds.add_argument("--scale", type=float, default=0.1)
+    seeds.add_argument("--k", type=int, default=20)
+
+    commands.add_parser("datasets", help="list the dataset registry")
+
+    experiment = commands.add_parser("experiment", help="regenerate a table/figure")
+    experiment.add_argument(
+        "name",
+        choices=["table1", "table2", "table3", "fig5", "fig9", "fig13",
+                 "indicator", "friendster"],
+    )
+    experiment.add_argument("--profile", default="quick",
+                            choices=["smoke", "quick", "full"])
+    experiment.add_argument("--dataset", default="lastfm")
+
+    calibrate = commands.add_parser("calibrate", help="noise for a privacy target")
+    calibrate.add_argument("--epsilon", type=float, required=True)
+    calibrate.add_argument("--delta", type=float, default=1e-4)
+    calibrate.add_argument("--steps", type=int, default=60)
+    calibrate.add_argument("--batch-size", type=int, default=16)
+    calibrate.add_argument("--num-subgraphs", type=int, default=300)
+    calibrate.add_argument("--max-occurrences", type=int, default=4)
+
+    audit = commands.add_parser("audit", help="membership-inference audit")
+    audit.add_argument("--dataset", default="bitcoin", choices=sorted(DATASETS))
+    audit.add_argument("--scale", type=float, default=0.04)
+    audit.add_argument("--epsilon", type=float, default=4.0)
+    audit.add_argument("--repeats", type=int, default=6)
+    audit.add_argument("--iterations", type=int, default=8)
+    audit.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    train_graph, test_graph = split_graph(graph, 0.5, rng=args.seed)
+    config = PrivIMConfig(
+        epsilon=args.epsilon if args.epsilon > 0 else None,
+        model=args.model,
+        subgraph_size=args.subgraph_size,
+        threshold=args.threshold,
+        iterations=args.iterations,
+        rng=args.seed,
+    )
+    if args.method == "privim":
+        pipeline = PrivIM(config)
+    else:
+        pipeline = PrivIMStar(config, include_boundary=args.method == "privim-star")
+    result = pipeline.fit(train_graph)
+
+    k = min(args.k, test_graph.num_nodes)
+    seeds = pipeline.select_seeds(test_graph, k)
+    spread = coverage_spread(test_graph, seeds)
+    _, celf_spread = celf_coverage(test_graph, k)
+    print(f"dataset        : {args.dataset} (|V|={graph.num_nodes})")
+    print(f"method         : {pipeline.method_name}")
+    print(f"subgraphs      : {result.num_subgraphs} (N_g={result.max_occurrences})")
+    print(f"noise sigma    : {result.sigma:.4f}")
+    print(f"achieved eps   : {result.epsilon:.4f} (delta={result.delta:.2e})")
+    print(f"spread@k={k:<4} : {spread}  (CELF {celf_spread}, "
+          f"ratio {coverage_ratio(spread, celf_spread):.1f}%)")
+    if args.save:
+        save_model(pipeline.model, args.save)
+        print(f"checkpoint     : {args.save}")
+    return 0
+
+
+def _command_seeds(args: argparse.Namespace) -> int:
+    model = load_model(args.checkpoint)
+    graph = load_dataset(args.dataset, scale=args.scale)
+    k = min(args.k, graph.num_nodes)
+    seeds = select_top_k_seeds(model, graph, k)
+    print(" ".join(str(seed) for seed in seeds))
+    return 0
+
+
+def _command_datasets() -> int:
+    rows = [
+        [spec.name, spec.num_nodes, spec.num_edges,
+         "directed" if spec.directed else "undirected", spec.avg_degree,
+         spec.description]
+        for spec in DATASETS.values()
+    ]
+    print(format_table(
+        ["name", "|V|", "|E|", "type", "avg deg", "description"], rows
+    ))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig5,
+        fig9,
+        fig_indicator,
+        friendster,
+        param_study,
+        table1,
+        table2,
+        table3,
+    )
+
+    if args.name == "table1":
+        print(table1.run(args.profile).render())
+    elif args.name == "table2":
+        print(table2.run(args.profile).render())
+    elif args.name == "table3":
+        print(table3.run(args.profile).render())
+    elif args.name == "fig5":
+        print(fig5.run_dataset(args.dataset, args.profile).render())
+    elif args.name == "fig9":
+        print(fig9.run(args.profile).render())
+    elif args.name == "fig13":
+        print(param_study.run_theta_study(args.dataset, args.profile).render())
+    elif args.name == "indicator":
+        print(fig_indicator.run_m_sweep(args.dataset, args.profile).render())
+    else:
+        print(friendster.run(args.profile).render())
+    return 0
+
+
+def _command_calibrate(args: argparse.Namespace) -> int:
+    sigma = calibrate_sigma(
+        args.epsilon,
+        args.delta,
+        steps=args.steps,
+        batch_size=args.batch_size,
+        num_subgraphs=args.num_subgraphs,
+        max_occurrences=args.max_occurrences,
+    )
+    print(f"sigma = {sigma:.6f}")
+    return 0
+
+
+def _command_audit(args: argparse.Namespace) -> int:
+    from repro.dp.audit import audit_node_membership
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+
+    def train_fn(target_graph, seed):
+        pipeline = PrivIMStar(
+            PrivIMConfig(
+                epsilon=args.epsilon,
+                subgraph_size=12,
+                threshold=4,
+                iterations=args.iterations,
+                batch_size=6,
+                sampling_rate=0.6,
+                hidden_features=8,
+                num_layers=2,
+                rng=seed,
+            )
+        )
+        pipeline.fit(target_graph)
+        return pipeline
+
+    result = audit_node_membership(
+        train_fn,
+        graph,
+        epsilon=args.epsilon,
+        delta=1.0 / (2 * graph.num_nodes),
+        repeats=args.repeats,
+        rng=args.seed,
+    )
+    print(f"target node      : {result.target_node}")
+    print(f"attack advantage : {result.attack_advantage:.3f} "
+          f"(+/- {result.sampling_error:.3f} sampling error)")
+    print(f"DP bound         : {result.dp_advantage_bound:.3f}")
+    print(f"verdict          : {'OK' if result.respects_bound else 'VIOLATION'}")
+    return 0 if result.respects_bound else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "train":
+        return _command_train(args)
+    if args.command == "seeds":
+        return _command_seeds(args)
+    if args.command == "datasets":
+        return _command_datasets()
+    if args.command == "experiment":
+        return _command_experiment(args)
+    if args.command == "audit":
+        return _command_audit(args)
+    return _command_calibrate(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""PrivIM core: loss, DP-SGD trainer, pipelines, parameter indicator."""
+
+from repro.core.loss import (
+    MaxCoverLoss,
+    PenaltyLossConfig,
+    probabilistic_penalty_loss,
+)
+from repro.core.trainer import (
+    DPTrainingConfig,
+    DPGNNTrainer,
+    TrainingHistory,
+    suggest_clip_bound,
+)
+from repro.core.seed_selection import score_nodes, select_top_k_seeds
+from repro.core.pipeline import (
+    PipelineResult,
+    PrivIM,
+    PrivIMConfig,
+    PrivIMStar,
+)
+from repro.core.indicator import (
+    DEFAULT_INDICATOR,
+    Indicator,
+    IndicatorParameters,
+    fit_indicator,
+    gamma_pdf,
+)
+
+__all__ = [
+    "PenaltyLossConfig",
+    "probabilistic_penalty_loss",
+    "MaxCoverLoss",
+    "DPTrainingConfig",
+    "DPGNNTrainer",
+    "TrainingHistory",
+    "suggest_clip_bound",
+    "score_nodes",
+    "select_top_k_seeds",
+    "PrivIMConfig",
+    "PrivIM",
+    "PrivIMStar",
+    "PipelineResult",
+    "Indicator",
+    "IndicatorParameters",
+    "fit_indicator",
+    "gamma_pdf",
+    "DEFAULT_INDICATOR",
+]

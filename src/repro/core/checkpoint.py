@@ -1,0 +1,58 @@
+"""Model checkpointing.
+
+State dicts are plain ``{name: ndarray}`` mappings, so checkpoints are
+``numpy.savez`` archives plus a small JSON header describing the
+architecture — enough to rebuild the exact model without pickling code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.gnn.models import GNN, GNNConfig
+
+
+_HEADER_KEY = "__repro_model_config__"
+
+
+def save_model(model: GNN, path: str | os.PathLike) -> None:
+    """Save a GNN's architecture + weights to an ``.npz`` archive."""
+    header = json.dumps(
+        {
+            "model": model.config.model,
+            "in_features": model.config.in_features,
+            "hidden_features": model.config.hidden_features,
+            "num_layers": model.config.num_layers,
+            "attention_heads": model.config.attention_heads,
+        }
+    )
+    payload = dict(model.state_dict())
+    payload[_HEADER_KEY] = np.frombuffer(header.encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **payload)
+
+
+def load_model(path: str | os.PathLike) -> GNN:
+    """Rebuild a GNN saved by :func:`save_model` (architecture + weights)."""
+    with np.load(path) as archive:
+        if _HEADER_KEY not in archive:
+            raise TrainingError(f"{path} is not a repro model checkpoint")
+        header = json.loads(bytes(archive[_HEADER_KEY].tobytes()).decode("utf-8"))
+        state = {
+            key: archive[key] for key in archive.files if key != _HEADER_KEY
+        }
+    model = GNN(
+        GNNConfig(
+            model=header["model"],
+            in_features=int(header["in_features"]),
+            hidden_features=int(header["hidden_features"]),
+            num_layers=int(header["num_layers"]),
+            attention_heads=int(header.get("attention_heads", 1)),
+            rng=0,
+        )
+    )
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,296 @@
+"""End-to-end PrivIM pipelines (Figure 2's three modules wired together).
+
+:class:`PrivIM` is the naive implementation (Section III): θ-projection +
+Algorithm 1 sampling, with occurrence bound ``N_g = Σ θ^i`` (Lemma 1).
+
+:class:`PrivIMStar` is the dual-stage implementation (Section IV):
+Algorithm 3 sampling with occurrence bound ``N_g* = M``; pass
+``include_boundary=False`` for the "PrivIM+SCS" ablation row of Table II.
+
+Both calibrate the Gaussian noise multiplier σ to a target ``(ε, δ)`` with
+the Theorem 3 accountant, train with Algorithm 2, and select seeds by model
+score.  ``epsilon=None`` gives the Non-Private reference (ε = ∞).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.loss import PenaltyLossConfig
+from repro.core.seed_selection import score_nodes, select_top_k_seeds
+from repro.core.trainer import DPGNNTrainer, DPTrainingConfig, TrainingHistory
+from repro.dp.accountant import calibrate_sigma
+from repro.dp.sensitivity import max_occurrences_dual_stage, max_occurrences_naive
+from repro.errors import TrainingError
+from repro.gnn.models import build_gnn
+from repro.graphs.graph import Graph
+from repro.sampling.container import SubgraphContainer
+from repro.sampling.dual_stage import DualStageSamplingConfig, extract_subgraphs_dual_stage
+from repro.sampling.naive import NaiveSamplingConfig, extract_subgraphs_naive
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+@dataclass
+class PrivIMConfig:
+    """Shared configuration of both pipelines (paper defaults, Section V-A).
+
+    Attributes:
+        epsilon: target privacy budget ε (``None`` = non-private, ε = ∞).
+        delta: target δ; default ``1 / (2 |V_train|)``, satisfying the
+            paper's ``δ < 1/|V_train|``.
+        model: GNN architecture (``grat``, ``gcn``, ``gat``, ``gin``,
+            ``sage``).
+        hidden_features: hidden width (paper: 32).
+        num_layers: GNN depth r (paper: 3).
+        theta: in-degree bound for the naive pipeline (paper: 10).
+        subgraph_size: ``n``.
+        threshold: frequency cap ``M`` (dual-stage only).
+        decay: Eq. 9's μ.
+        sampling_rate: start-node rate ``q``; default ``256 / |V_train|``.
+        walk_length: ``L`` (paper: 200).
+        restart_probability: τ (paper: 0.3).
+        boundary_divisor: stage-2 size divisor ``s``.
+        iterations: training iterations ``T``.
+        batch_size: ``B`` (clamped to the container size at fit time).
+        learning_rate: η (paper: 0.005; the default here is larger because
+            the scaled graphs need fewer, coarser steps).
+        clip_bound: per-subgraph clip norm ``C``.
+        penalty: Eq. 5's λ.
+        diffusion_steps: Eq. 5's j (paper evaluates j = 1).
+        rng: master seed for the whole pipeline.
+    """
+
+    epsilon: float | None = 4.0
+    delta: float | None = None
+    model: str = "grat"
+    hidden_features: int = 32
+    num_layers: int = 3
+    theta: int = 10
+    subgraph_size: int = 40
+    threshold: int = 4
+    decay: float = 1.0
+    sampling_rate: float | None = None
+    walk_length: int = 200
+    restart_probability: float = 0.3
+    boundary_divisor: int = 2
+    iterations: int = 30
+    batch_size: int = 8
+    learning_rate: float = 0.05
+    clip_bound: float = 1.0
+    penalty: float = 0.5
+    diffusion_steps: int = 1
+    phi: str = "clamp"
+    rng: int | np.random.Generator | None = field(default=None, repr=False)
+
+    def resolved_sampling_rate(self, num_nodes: int) -> float:
+        """``q`` — explicit value or the paper's ``256 / |V_train|``."""
+        if self.sampling_rate is not None:
+            return self.sampling_rate
+        if num_nodes <= 0:
+            raise TrainingError("graph has no nodes")
+        return min(256.0 / num_nodes, 1.0)
+
+    def resolved_delta(self, num_nodes: int) -> float:
+        """δ — explicit value or ``1 / (2 |V_train|)``."""
+        if self.delta is not None:
+            return self.delta
+        return 1.0 / (2.0 * max(num_nodes, 2))
+
+
+@dataclass
+class PipelineResult:
+    """Everything :meth:`fit` produced, for inspection and experiments.
+
+    Attributes:
+        num_subgraphs: container size ``m``.
+        max_occurrences: the sensitivity bound ``N_g`` used for noise.
+        empirical_max_occurrence: the audited occurrence maximum (≤ bound).
+        sigma: calibrated noise multiplier (0 when non-private).
+        epsilon: achieved ε (``inf`` when non-private).
+        delta: the δ used.
+        history: per-iteration training records.
+        preprocessing_seconds: sampling (+ projection) wall time.
+        training_seconds: total Algorithm 2 wall time.
+        stage1_count / stage2_count: dual-stage split (0/0 for naive).
+    """
+
+    num_subgraphs: int
+    max_occurrences: int
+    empirical_max_occurrence: int
+    sigma: float
+    epsilon: float
+    delta: float
+    history: TrainingHistory
+    preprocessing_seconds: float
+    training_seconds: float
+    stage1_count: int = 0
+    stage2_count: int = 0
+
+
+class _BasePipeline:
+    """Shared fit / seed-selection logic of PrivIM and PrivIM*."""
+
+    method_name = "base"
+
+    def __init__(self, config: PrivIMConfig | None = None) -> None:
+        self.config = config or PrivIMConfig()
+        self.model = None
+        self.result: PipelineResult | None = None
+        (
+            self._sampling_rng,
+            self._model_rng,
+            self._training_rng,
+        ) = spawn_rngs(ensure_rng(self.config.rng), 3)
+
+    # subclasses implement ------------------------------------------------
+    def _sample(self, graph: Graph) -> tuple[SubgraphContainer, int, int, int]:
+        """Return (container, bound N_g, stage1_count, stage2_count)."""
+        raise NotImplementedError
+
+    # ---------------------------------------------------------------------
+    def fit(self, graph: Graph) -> PipelineResult:
+        """Sample subgraphs, calibrate noise, and train the private GNN."""
+        config = self.config
+        started = time.perf_counter()
+        container, max_occurrences, stage1, stage2 = self._sample(graph)
+        preprocessing_seconds = time.perf_counter() - started
+
+        if len(container) == 0:
+            raise TrainingError(
+                "sampling produced no subgraphs; increase sampling_rate or "
+                "walk_length, or decrease subgraph_size"
+            )
+        batch_size = min(config.batch_size, len(container))
+        delta = config.resolved_delta(graph.num_nodes)
+
+        if config.epsilon is None:
+            sigma = 0.0
+            achieved_epsilon = float("inf")
+            clip_bound = config.clip_bound
+        else:
+            sigma = calibrate_sigma(
+                config.epsilon,
+                delta,
+                steps=config.iterations,
+                batch_size=batch_size,
+                num_subgraphs=len(container),
+                max_occurrences=max_occurrences,
+            )
+            achieved_epsilon = config.epsilon
+            clip_bound = config.clip_bound
+
+        self.model = build_gnn(
+            config.model,
+            hidden_features=config.hidden_features,
+            num_layers=config.num_layers,
+            rng=self._model_rng,
+        )
+        training_config = DPTrainingConfig(
+            iterations=config.iterations,
+            batch_size=batch_size,
+            learning_rate=config.learning_rate,
+            clip_bound=clip_bound,
+            sigma=sigma,
+            max_occurrences=max_occurrences,
+            loss=PenaltyLossConfig(
+                diffusion_steps=config.diffusion_steps,
+                penalty=config.penalty,
+                phi=config.phi,
+            ),
+        )
+        trainer = DPGNNTrainer(self.model, container, training_config, self._training_rng)
+        history = trainer.train()
+
+        if trainer.accountant is not None:
+            achieved_epsilon = trainer.accountant.epsilon(delta)
+
+        self.result = PipelineResult(
+            num_subgraphs=len(container),
+            max_occurrences=max_occurrences,
+            empirical_max_occurrence=container.max_occurrence(graph.num_nodes),
+            sigma=sigma,
+            epsilon=achieved_epsilon,
+            delta=delta,
+            history=history,
+            preprocessing_seconds=preprocessing_seconds,
+            training_seconds=history.total_seconds,
+            stage1_count=stage1,
+            stage2_count=stage2,
+        )
+        return self.result
+
+    def select_seeds(self, graph: Graph, k: int) -> list[int]:
+        """Top-``k`` seed set on ``graph`` using the trained model."""
+        if self.model is None:
+            raise TrainingError("call fit() before select_seeds()")
+        return select_top_k_seeds(self.model, graph, k)
+
+    def score_nodes(self, graph: Graph) -> np.ndarray:
+        """Per-node seed probabilities on ``graph``."""
+        if self.model is None:
+            raise TrainingError("call fit() before score_nodes()")
+        return score_nodes(self.model, graph)
+
+
+class PrivIM(_BasePipeline):
+    """The naive pipeline: θ-projection + Algorithm 1 + Lemma 1 bound."""
+
+    method_name = "PrivIM"
+
+    def _sample(self, graph: Graph) -> tuple[SubgraphContainer, int, int, int]:
+        config = self.config
+        sampling = NaiveSamplingConfig(
+            theta=config.theta,
+            subgraph_size=config.subgraph_size,
+            hops=config.num_layers,
+            sampling_rate=config.resolved_sampling_rate(graph.num_nodes),
+            walk_length=config.walk_length,
+            restart_probability=config.restart_probability,
+        )
+        container, _projected = extract_subgraphs_naive(graph, sampling, self._sampling_rng)
+        bound = max_occurrences_naive(config.theta, config.num_layers)
+        return container, bound, len(container), 0
+
+
+class PrivIMStar(_BasePipeline):
+    """The dual-stage pipeline (Algorithm 3) with bound ``N_g* = M``.
+
+    Args:
+        config: shared pipeline configuration.
+        include_boundary: run BES (stage 2); ``False`` gives the
+            "PrivIM+SCS" ablation variant.
+    """
+
+    method_name = "PrivIM*"
+
+    def __init__(
+        self, config: PrivIMConfig | None = None, *, include_boundary: bool = True
+    ) -> None:
+        super().__init__(config)
+        self.include_boundary = bool(include_boundary)
+        if not self.include_boundary:
+            self.method_name = "PrivIM+SCS"
+
+    def _sample(self, graph: Graph) -> tuple[SubgraphContainer, int, int, int]:
+        config = self.config
+        sampling = DualStageSamplingConfig(
+            subgraph_size=config.subgraph_size,
+            threshold=config.threshold,
+            decay=config.decay,
+            sampling_rate=config.resolved_sampling_rate(graph.num_nodes),
+            walk_length=config.walk_length,
+            restart_probability=config.restart_probability,
+            boundary_divisor=config.boundary_divisor,
+            include_boundary=self.include_boundary,
+        )
+        result = extract_subgraphs_dual_stage(graph, sampling, self._sampling_rng)
+        bound = max_occurrences_dual_stage(config.threshold)
+        return result.container, bound, result.stage1_count, result.stage2_count
+
+
+def non_private_config(config: PrivIMConfig) -> PrivIMConfig:
+    """Copy of ``config`` with the privacy budget removed (ε = ∞)."""
+    return replace(config, epsilon=None)

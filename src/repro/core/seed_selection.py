@@ -1,0 +1,36 @@
+"""Seed selection from a trained model.
+
+After training, the GNN scores every node of the evaluation graph with its
+seed probability ``φ(h_u)``; the top-``k`` nodes form the seed set
+(Section III-C).  Inference runs under ``no_grad`` so scoring large graphs
+does not build autograd tapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.gnn.features import degree_features
+from repro.gnn.models import GNN
+from repro.graphs.graph import Graph
+from repro.nn.tensor import Tensor, no_grad
+
+
+def score_nodes(model: GNN, graph: Graph) -> np.ndarray:
+    """Per-node seed probabilities on ``graph`` (shape ``(|V|,)``)."""
+    features = Tensor(degree_features(graph, dim=model.config.in_features))
+    edge_index = graph.edge_index()
+    edge_weight = graph.edge_arrays()[2]
+    with no_grad():
+        scores = model(features, edge_index, edge_weight)
+    return scores.numpy()
+
+
+def select_top_k_seeds(model: GNN, graph: Graph, k: int) -> list[int]:
+    """The top-``k`` nodes by model score (the paper's seed rule)."""
+    if not 1 <= k <= graph.num_nodes:
+        raise TrainingError(f"k must be in [1, {graph.num_nodes}], got {k}")
+    scores = score_nodes(model, graph)
+    order = np.argsort(-scores, kind="stable")
+    return [int(node) for node in order[:k]]

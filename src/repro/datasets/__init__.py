@@ -1,0 +1,19 @@
+"""Dataset registry: the paper's seven graphs as synthetic equivalents."""
+
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    dataset_statistics,
+    load_dataset,
+)
+from repro.datasets.synthetic import scale_free_directed_graph
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "dataset_statistics",
+    "load_dataset",
+    "scale_free_directed_graph",
+]

@@ -1,0 +1,231 @@
+"""Privacy accounting for PrivIM training (Theorem 3) and σ calibration.
+
+The per-iteration mechanism samples ``B`` subgraphs uniformly from a
+container of ``m`` and releases the noised, clipped gradient sum.  A single
+node appears in at most ``N_g`` subgraphs, so the number of "touched"
+subgraphs in a batch follows ``Binomial(B, N_g / m)`` and the shifted-
+Gaussian divergence is mixed over that distribution (Theorem 3):
+
+``γ(α) = 1/(α−1) · log Σ_{i=0..N_g} ρ_i · exp(α(α−1) i² / (2 N_g² σ²))``
+
+with ``ρ_i = C(B, i) (N_g/m)^i (1 − N_g/m)^{B−i}``.  All sums are computed
+in log space so large batches and orders stay stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import gammaln, logsumexp
+
+from repro.errors import CalibrationError, PrivacyError
+from repro.dp.rdp import DEFAULT_ALPHAS, best_epsilon
+
+
+def _log_binomial_pmf(count: int, trials: int, probability: float) -> np.ndarray:
+    """Log pmf of ``Binomial(trials, probability)`` at ``0..count``."""
+    i = np.arange(count + 1)
+    log_coeff = gammaln(trials + 1) - gammaln(i + 1) - gammaln(trials - i + 1)
+    with np.errstate(divide="ignore"):
+        log_p = np.where(i > 0, i * np.log(probability), 0.0)
+        log_q = np.where(trials - i > 0, (trials - i) * np.log1p(-probability), 0.0)
+    return log_coeff + log_p + log_q
+
+
+def privim_step_rdp(
+    alpha: float,
+    sigma: float,
+    batch_size: int,
+    num_subgraphs: int,
+    max_occurrences: int,
+) -> float:
+    """One-iteration RDP of Algorithm 2 at order ``alpha`` (Theorem 3, Eq. 8).
+
+    Args:
+        alpha: Rényi order (> 1).
+        sigma: noise multiplier (noise std is ``sigma · C · N_g``).
+        batch_size: subgraphs per batch ``B``.
+        num_subgraphs: container size ``m = |G_sub|``.
+        max_occurrences: occurrence bound ``N_g`` (Lemma 1) or ``N_g* = M``.
+
+    Returns:
+        γ such that one iteration is ``(α, γ)``-RDP.
+    """
+    if alpha <= 1:
+        raise PrivacyError(f"alpha must be > 1, got {alpha}")
+    if sigma <= 0:
+        raise PrivacyError(f"sigma must be positive, got {sigma}")
+    if batch_size < 1 or num_subgraphs < 1:
+        raise PrivacyError("batch_size and num_subgraphs must be >= 1")
+    if max_occurrences < 1:
+        raise PrivacyError(f"max_occurrences must be >= 1, got {max_occurrences}")
+    if batch_size > num_subgraphs:
+        raise PrivacyError("batch_size cannot exceed the container size")
+
+    touch_probability = min(max_occurrences / num_subgraphs, 1.0)
+    # A node cannot touch more batch slots than min(N_g, B).
+    top = min(max_occurrences, batch_size)
+
+    if touch_probability >= 1.0:
+        # Degenerate: every batch is fully touched; reduces to a pure
+        # Gaussian shifted by the worst case i = top.
+        return alpha * top**2 / (2.0 * max_occurrences**2 * sigma**2)
+
+    log_rho = _log_binomial_pmf(top, batch_size, touch_probability)
+    # Probability mass of i in (top, B] collapses onto i = top (the shift
+    # cannot exceed N_g · C), keeping the bound valid.
+    if top < batch_size:
+        i_tail = np.arange(top + 1, batch_size + 1)
+        log_tail = (
+            gammaln(batch_size + 1)
+            - gammaln(i_tail + 1)
+            - gammaln(batch_size - i_tail + 1)
+            + i_tail * np.log(touch_probability)
+            + (batch_size - i_tail) * np.log1p(-touch_probability)
+        )
+        log_rho[top] = np.logaddexp(log_rho[top], logsumexp(log_tail))
+
+    i = np.arange(top + 1)
+    exponents = alpha * (alpha - 1.0) * i**2 / (2.0 * max_occurrences**2 * sigma**2)
+    log_terms = log_rho + exponents
+    return float(logsumexp(log_terms) / (alpha - 1.0))
+
+
+def poisson_subsampled_gaussian_rdp(
+    alpha: int,
+    sigma: float,
+    sampling_rate: float,
+) -> float:
+    """Classical Poisson-subsampled Gaussian RDP (integer orders).
+
+    The Mironov–Talwar–Zhang bound used by standard DP-SGD accountants:
+    ``γ(α) = 1/(α−1) log Σ_{k=0..α} C(α,k)(1−q)^{α−k} q^k exp((k²−k)/(2σ²))``.
+
+    Included as the comparison point for the accountant ablation in
+    DESIGN.md — it ignores the occurrence structure Theorem 3 exploits.
+    """
+    if not isinstance(alpha, (int, np.integer)) or alpha < 2:
+        raise PrivacyError(f"alpha must be an integer >= 2, got {alpha}")
+    if sigma <= 0:
+        raise PrivacyError(f"sigma must be positive, got {sigma}")
+    if not 0.0 < sampling_rate <= 1.0:
+        raise PrivacyError(f"sampling_rate must be in (0, 1], got {sampling_rate}")
+
+    if sampling_rate == 1.0:
+        # No subsampling: the mixture collapses to the plain Gaussian term
+        # k = alpha, i.e. gamma = (alpha^2 - alpha)/(2 sigma^2 (alpha-1)).
+        return float(alpha / (2.0 * sigma**2))
+
+    k = np.arange(alpha + 1)
+    log_coeff = gammaln(alpha + 1) - gammaln(k + 1) - gammaln(alpha - k + 1)
+    with np.errstate(divide="ignore"):
+        log_q = np.where(k > 0, k * np.log(sampling_rate), 0.0)
+        log_1q = np.where(alpha - k > 0, (alpha - k) * np.log1p(-sampling_rate), 0.0)
+    exponents = (k**2 - k) / (2.0 * sigma**2)
+    return float(logsumexp(log_coeff + log_q + log_1q + exponents) / (alpha - 1.0))
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks cumulative RDP of Algorithm 2 over training iterations.
+
+    Attributes:
+        sigma: noise multiplier.
+        batch_size: subgraphs per iteration.
+        num_subgraphs: container size ``m``.
+        max_occurrences: node occurrence bound ``N_g``.
+        alphas: Rényi order grid for the final conversion.
+    """
+
+    sigma: float
+    batch_size: int
+    num_subgraphs: int
+    max_occurrences: int
+    alphas: tuple[float, ...] = DEFAULT_ALPHAS
+
+    def __post_init__(self) -> None:
+        self.steps = 0
+        # Per-order single-step γ, computed lazily and cached.
+        self._step_gammas: dict[float, float] | None = None
+
+    def _gammas(self) -> dict[float, float]:
+        if self._step_gammas is None:
+            self._step_gammas = {
+                alpha: privim_step_rdp(
+                    alpha,
+                    self.sigma,
+                    self.batch_size,
+                    self.num_subgraphs,
+                    self.max_occurrences,
+                )
+                for alpha in self.alphas
+            }
+        return self._step_gammas
+
+    def step(self, count: int = 1) -> None:
+        """Record ``count`` training iterations."""
+        if count < 0:
+            raise PrivacyError(f"count must be non-negative, got {count}")
+        self.steps += count
+
+    def rdp(self, alpha: float) -> float:
+        """Cumulative γ at order ``alpha`` after the recorded steps."""
+        gammas = self._gammas()
+        if alpha not in gammas:
+            gammas[alpha] = privim_step_rdp(
+                alpha, self.sigma, self.batch_size, self.num_subgraphs, self.max_occurrences
+            )
+        return gammas[alpha] * self.steps
+
+    def epsilon(self, delta: float) -> float:
+        """Tightest ε over the order grid for the recorded steps."""
+        if self.steps == 0:
+            return 0.0
+        epsilon, _ = best_epsilon(lambda a: self.rdp(a), delta, self.alphas)
+        return max(epsilon, 0.0)
+
+
+def calibrate_sigma(
+    target_epsilon: float,
+    delta: float,
+    steps: int,
+    batch_size: int,
+    num_subgraphs: int,
+    max_occurrences: int,
+    *,
+    sigma_low: float = 1e-2,
+    sigma_high: float = 1e4,
+    tolerance: float = 1e-3,
+) -> float:
+    """Smallest noise multiplier meeting ``(target_epsilon, delta)``.
+
+    Bisection over σ on the monotone map σ → ε(T steps).  Raises
+    :class:`CalibrationError` if even ``sigma_high`` cannot reach the
+    target.
+    """
+    if target_epsilon <= 0:
+        raise PrivacyError(f"target_epsilon must be positive, got {target_epsilon}")
+    if steps < 1:
+        raise PrivacyError(f"steps must be >= 1, got {steps}")
+
+    def epsilon_for(sigma: float) -> float:
+        accountant = PrivacyAccountant(sigma, batch_size, num_subgraphs, max_occurrences)
+        accountant.step(steps)
+        return accountant.epsilon(delta)
+
+    low, high = sigma_low, sigma_high
+    if epsilon_for(high) > target_epsilon:
+        raise CalibrationError(
+            f"even sigma={high} gives epsilon > {target_epsilon}; "
+            "reduce steps, batch size, or occurrences"
+        )
+    if epsilon_for(low) <= target_epsilon:
+        return low
+    while high / low > 1.0 + tolerance:
+        middle = np.sqrt(low * high)
+        if epsilon_for(middle) > target_epsilon:
+            low = middle
+        else:
+            high = middle
+    return float(high)

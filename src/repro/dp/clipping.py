@@ -1,0 +1,33 @@
+"""Gradient clipping (Algorithm 2, line 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PrivacyError
+
+
+def clip_to_norm(vector: np.ndarray, clip_bound: float) -> np.ndarray:
+    """Scale ``vector`` so its l2 norm is at most ``clip_bound``.
+
+    Implements ``g / max(1, ||g||_2 / C)`` — a no-op for small gradients,
+    a rescale (not a truncation) for large ones.
+    """
+    if clip_bound <= 0:
+        raise PrivacyError(f"clip_bound must be positive, got {clip_bound}")
+    array = np.asarray(vector, dtype=np.float64)
+    norm = float(np.linalg.norm(array))
+    if norm <= clip_bound:
+        return array.copy()
+    return array * (clip_bound / norm)
+
+
+def clipped_norm_bound(vectors: list[np.ndarray], clip_bound: float) -> float:
+    """Empirical check: max l2 norm after clipping every vector.
+
+    Used by tests and failure-injection tooling to assert that no clipped
+    per-subgraph gradient ever exceeds ``clip_bound`` (within float error).
+    """
+    if not vectors:
+        return 0.0
+    return max(float(np.linalg.norm(clip_to_norm(v, clip_bound))) for v in vectors)

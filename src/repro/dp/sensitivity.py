@@ -1,0 +1,74 @@
+"""Node-level sensitivity bounds (Lemmas 1 and 2).
+
+The DP noise scale is ``sigma * Δ_g`` where ``Δ_g = C · N_g`` (Lemma 2):
+``C`` bounds each subgraph's clipped gradient and ``N_g`` bounds how many
+subgraphs one node can appear in.  The two sampling schemes differ exactly
+in ``N_g``:
+
+* naive RWR on the θ-bounded graph: ``N_g = Σ_{i=0..r} θ^i`` (Lemma 1),
+  exponential in the GNN depth ``r``;
+* dual-stage frequency sampling: ``N_g* = M`` — the hard occurrence cap —
+  independent of ``r``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PrivacyError
+
+
+def max_occurrences_naive(theta: int, num_layers: int) -> int:
+    """Lemma 1: max occurrences of any node under Algorithm 1 sampling.
+
+    ``N_g = Σ_{i=0}^{r} θ^i = (θ^{r+1} − 1)/(θ − 1)`` for θ > 1 and
+    ``r + 1`` for θ = 1.
+
+    Args:
+        theta: in-degree bound of the projected graph ``G^θ``.
+        num_layers: GNN depth ``r`` (hops of dependency).
+    """
+    if theta < 1:
+        raise PrivacyError(f"theta must be >= 1, got {theta}")
+    if num_layers < 0:
+        raise PrivacyError(f"num_layers must be >= 0, got {num_layers}")
+    if theta == 1:
+        return num_layers + 1
+    return (theta ** (num_layers + 1) - 1) // (theta - 1)
+
+
+def max_occurrences_dual_stage(frequency_threshold: int) -> int:
+    """Dual-stage sampling's occurrence bound: ``N_g* = M`` (Section IV-A).
+
+    The frequency vector caps every node at ``M`` subgraph memberships
+    across *both* stages, so the bound no longer grows with GNN depth.
+    """
+    if frequency_threshold < 1:
+        raise PrivacyError(
+            f"frequency_threshold must be >= 1, got {frequency_threshold}"
+        )
+    return int(frequency_threshold)
+
+
+def node_level_sensitivity(clip_bound: float, max_occurrences: int) -> float:
+    """Lemma 2: ``Δ_g ≤ C · N_g``.
+
+    Removing one node changes at most ``N_g`` per-subgraph gradients in any
+    batch, each clipped to norm ``C``, so the batched-gradient difference is
+    at most ``C · N_g`` in l2.
+    """
+    if clip_bound <= 0:
+        raise PrivacyError(f"clip_bound must be positive, got {clip_bound}")
+    if max_occurrences < 1:
+        raise PrivacyError(f"max_occurrences must be >= 1, got {max_occurrences}")
+    return float(clip_bound) * float(max_occurrences)
+
+
+def edge_level_sensitivity(clip_bound: float, max_edge_occurrences: int) -> float:
+    """Edge-level DP extension (Section II-B's remark).
+
+    Under edge-level adjacency, removing one *edge* perturbs only the
+    subgraphs containing that edge.  With the frequency cap ``M`` applied to
+    both endpoints, an edge appears in at most ``min(M_u, M_v) ≤ M``
+    subgraphs, so the same ``C · N`` form holds with the edge occurrence
+    bound — strictly smaller noise than the node-level bound.
+    """
+    return node_level_sensitivity(clip_bound, max_edge_occurrences)

@@ -1,0 +1,30 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes ``run(profile=...)`` returning a structured report and
+prints the same rows/series the paper reports.  The mapping from experiment
+id to module lives in DESIGN.md; measured-vs-paper comparisons live in
+EXPERIMENTS.md.
+"""
+
+from repro.experiments.profiles import ExperimentProfile, PROFILES, get_profile
+from repro.experiments.methods import build_method, method_names
+from repro.experiments.harness import (
+    EvaluationSetting,
+    MethodRun,
+    evaluate_method,
+    prepare_dataset,
+    repeat_evaluation,
+)
+
+__all__ = [
+    "ExperimentProfile",
+    "PROFILES",
+    "get_profile",
+    "build_method",
+    "method_names",
+    "EvaluationSetting",
+    "MethodRun",
+    "prepare_dataset",
+    "evaluate_method",
+    "repeat_evaluation",
+]

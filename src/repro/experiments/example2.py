@@ -1,0 +1,79 @@
+"""Example 2 — why directly privatised greedy IM fails.
+
+Reproduces the paper's motivating calculation empirically: on a graph at
+profile scale, run (i) exact CELF, (ii) DP greedy with Laplace noisy-max,
+(iii) DP greedy with the exponential mechanism, and (iv) random selection,
+at several ε.  With marginal-gain sensitivity Θ(|V|), the DP greedy
+variants should hug the random baseline at realistic budgets while PrivIM*
+(trained under the *same* ε) stays near CELF — the gap that justifies the
+GNN approach.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.dp_greedy import dp_greedy_im
+from repro.experiments.harness import prepare_dataset, repeat_evaluation
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.experiments.reporting import ExperimentReport
+from repro.im.heuristics import random_seeds
+from repro.im.spread import coverage_spread
+
+
+def run(
+    dataset: str = "lastfm",
+    profile: str | ExperimentProfile = "quick",
+    *,
+    epsilons: Sequence[float] = (1.0, 4.0),
+    repeats: int = 3,
+) -> ExperimentReport:
+    """Spread of DP-greedy vs PrivIM* vs CELF vs random at each ε."""
+    resolved = get_profile(profile)
+    setting = prepare_dataset(dataset, resolved)
+    graph = setting.test_graph
+    k = setting.seed_count
+
+    random_spread = float(
+        np.mean(
+            [coverage_spread(graph, random_seeds(graph, k, seed)) for seed in range(10)]
+        )
+    )
+
+    report = ExperimentReport(
+        experiment_id="Example 2",
+        title=f"Directly privatised greedy IM on {dataset} (k={k})",
+        headers=["selector", *[f"eps={eps:g}" for eps in epsilons]],
+    )
+    report.notes.append(
+        f"CELF (non-private) spread: {setting.celf_spread:g}; "
+        f"random selection: {random_spread:.1f}; "
+        f"marginal-gain sensitivity = |V| = {graph.num_nodes}"
+    )
+
+    for mechanism in ("laplace", "exponential"):
+        spreads = []
+        for epsilon in epsilons:
+            values = [
+                dp_greedy_im(graph, k, epsilon, mechanism=mechanism, rng=seed)[1]
+                for seed in range(repeats)
+            ]
+            spreads.append(float(np.mean(values)))
+        report.rows.append([f"DP greedy ({mechanism})", *[round(s, 1) for s in spreads]])
+        report.series.append((f"{dataset}/dp-greedy-{mechanism}", list(epsilons), spreads))
+
+    privim_spreads = [
+        repeat_evaluation("privim_star", setting, epsilon, resolved, repeats=repeats).spread_mean
+        for epsilon in epsilons
+    ]
+    report.rows.append(["PrivIM* (same eps)", *[round(s, 1) for s in privim_spreads]])
+    report.rows.append(["random", *[round(random_spread, 1)] * len(epsilons)])
+    report.rows.append(["CELF (eps=inf)", *[round(setting.celf_spread, 1)] * len(epsilons)])
+    report.series.append((f"{dataset}/privim-star", list(epsilons), privim_spreads))
+    return report
+
+
+if __name__ == "__main__":
+    print(run().render())

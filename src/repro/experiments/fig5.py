@@ -1,0 +1,88 @@
+"""Figure 5 (and Figure 14) — influence spread vs privacy budget ε.
+
+For each dataset, every competitor is trained at each ε in the sweep and
+the mean influence spread over the profile's repeats is reported as one
+series per method — the same lines the paper plots.  Figure 14 is the
+HepPh panel of the same experiment; the Friendster panel replaces the full
+graph with its partitioned emulation (the paper also partitions it).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.registry import dataset_names
+from repro.experiments.harness import prepare_dataset, repeat_evaluation
+from repro.experiments.methods import display_name
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.experiments.reporting import ExperimentReport
+
+#: Figure 5's method lines (CELF is the constant ground-truth line).
+FIG5_METHODS = ("privim_star", "privim", "hp_grat", "hp", "egn", "non_private")
+
+
+def run_dataset(
+    dataset: str,
+    profile: str | ExperimentProfile = "quick",
+    *,
+    methods: tuple[str, ...] = FIG5_METHODS,
+) -> ExperimentReport:
+    """One panel of Figure 5: every method's spread-vs-ε series."""
+    resolved = get_profile(profile)
+    setting = prepare_dataset(dataset, resolved)
+    report = ExperimentReport(
+        experiment_id="Fig. 5",
+        title=f"Influence spread vs epsilon on {dataset}",
+        headers=["method", *[f"eps={eps:g}" for eps in resolved.epsilons]],
+    )
+    report.notes.append(
+        f"test graph: {setting.test_graph.num_nodes} nodes, "
+        f"k={setting.seed_count}, CELF spread={setting.celf_spread:g}"
+    )
+    for method in methods:
+        spreads: list[float] = []
+        for epsilon in resolved.epsilons:
+            aggregate = repeat_evaluation(method, setting, epsilon, resolved)
+            spreads.append(aggregate.spread_mean)
+            if method == "non_private":
+                break  # ε is ignored by the non-private reference
+        if method == "non_private":
+            spreads = spreads * len(resolved.epsilons)
+        report.rows.append([display_name(method), *[round(s, 1) for s in spreads]])
+        report.series.append(
+            (f"{dataset}/{display_name(method)}", list(resolved.epsilons), spreads)
+        )
+    report.series.append(
+        (
+            f"{dataset}/CELF",
+            list(resolved.epsilons),
+            [setting.celf_spread] * len(resolved.epsilons),
+        )
+    )
+    return report
+
+
+def run(
+    profile: str | ExperimentProfile = "quick",
+    *,
+    datasets: tuple[str, ...] | None = None,
+    include_friendster: bool = False,
+) -> list[ExperimentReport]:
+    """All Figure 5 panels (six datasets; Friendster optional)."""
+    names = (
+        list(datasets)
+        if datasets is not None
+        else dataset_names(include_friendster=include_friendster)
+    )
+    return [run_dataset(name, profile) for name in names]
+
+
+def run_hepph(profile: str | ExperimentProfile = "quick") -> ExperimentReport:
+    """Figure 14 — the HepPh panel reported separately in the appendix."""
+    report = run_dataset("hepph", profile)
+    report.experiment_id = "Fig. 14"
+    return report
+
+
+if __name__ == "__main__":
+    for panel in run():
+        print(panel.render())
+        print()

@@ -1,0 +1,116 @@
+"""Uniform method factory for the experiment harnesses.
+
+Every competitor in Section V-A is constructible by name with a privacy
+budget, a profile, and a seed, and exposes the common
+``fit(graph) -> PipelineResult`` / ``select_seeds(graph, k)`` interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.egn import EGNConfig, EGNPipeline
+from repro.baselines.hp import HPConfig, HPPipeline
+from repro.core.pipeline import PrivIM, PrivIMConfig, PrivIMStar
+from repro.errors import ExperimentError
+from repro.experiments.profiles import ExperimentProfile
+
+#: Method keys in the order Figure 5's legend lists them.
+METHODS = ("privim_star", "privim", "privim_scs", "hp_grat", "hp", "egn", "non_private")
+
+_DISPLAY = {
+    "privim_star": "PrivIM*",
+    "privim": "PrivIM",
+    "privim_scs": "PrivIM+SCS",
+    "hp_grat": "HP-GRAT",
+    "hp": "HP",
+    "egn": "EGN",
+    "non_private": "Non-Private",
+}
+
+
+def method_names() -> tuple[str, ...]:
+    """All method keys accepted by :func:`build_method`."""
+    return METHODS
+
+
+def display_name(method: str) -> str:
+    """Human-readable name used in tables and series labels."""
+    if method not in _DISPLAY:
+        raise ExperimentError(f"unknown method {method!r}; known: {sorted(_DISPLAY)}")
+    return _DISPLAY[method]
+
+
+def build_method(
+    method: str,
+    epsilon: float | None,
+    profile: ExperimentProfile,
+    rng: int | np.random.Generator,
+    *,
+    model: str | None = None,
+    subgraph_size: int | None = None,
+    threshold: int | None = None,
+    theta: int | None = None,
+):
+    """Instantiate a competitor pipeline.
+
+    Args:
+        method: one of :data:`METHODS`.
+        epsilon: target ε (``None`` forces the non-private mode; the
+            ``non_private`` method ignores this argument).
+        profile: experiment profile supplying training-scale defaults.
+        rng: seed or generator.
+        model: optional GNN override (Figure 9's sweep).
+        subgraph_size / threshold / theta: optional parameter-study
+            overrides (Figures 6, 7, 13).
+    """
+    if method not in METHODS:
+        raise ExperimentError(f"unknown method {method!r}; known: {sorted(METHODS)}")
+
+    n = subgraph_size if subgraph_size is not None else profile.subgraph_size
+    m_cap = threshold if threshold is not None else profile.threshold
+
+    privim_config = PrivIMConfig(
+        epsilon=epsilon,
+        model=model or "grat",
+        subgraph_size=n,
+        threshold=m_cap,
+        theta=theta if theta is not None else 10,
+        iterations=profile.iterations,
+        batch_size=profile.batch_size,
+        learning_rate=profile.learning_rate,
+        rng=rng,
+    )
+    if method == "privim_star":
+        return PrivIMStar(privim_config)
+    if method == "privim_scs":
+        return PrivIMStar(privim_config, include_boundary=False)
+    if method == "privim":
+        return PrivIM(privim_config)
+    if method == "non_private":
+        from repro.baselines.nonprivate import NonPrivatePipeline
+
+        return NonPrivatePipeline(privim_config)
+    if method in ("hp", "hp_grat"):
+        return HPPipeline(
+            HPConfig(
+                epsilon=epsilon,
+                model="grat" if method == "hp_grat" else (model or "gcn"),
+                iterations=profile.iterations,
+                batch_size=profile.batch_size,
+                learning_rate=profile.learning_rate,
+                rng=rng,
+            )
+        )
+    return EGNPipeline(
+        EGNConfig(
+            epsilon=epsilon,
+            model=model or "gcn",
+            num_subgraphs=profile.egn_num_subgraphs,
+            subgraph_size=n,
+            iterations=profile.iterations,
+            batch_size=profile.batch_size,
+            learning_rate=profile.learning_rate,
+            rng=rng,
+        )
+    )

@@ -1,0 +1,116 @@
+"""Parameter studies — Figures 6/10 (threshold M), 7/11 (subgraph size n),
+and 13 (in-degree bound θ).
+
+Each sweep varies one knob of PrivIM* (or PrivIM for θ) at fixed ε = 3 and
+reports the mean influence spread per value, reproducing the
+rise-then-fall shapes the indicator of Section IV-C models.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.harness import prepare_dataset, repeat_evaluation
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.experiments.reporting import ExperimentReport
+
+#: The paper's sweep grids (Section V-C); Email uses a shifted M grid.
+M_GRID_DEFAULT = (2, 4, 6, 8, 10)
+M_GRID_EMAIL = (4, 6, 8, 10, 12)
+N_GRID = (10, 20, 30, 40, 60, 80)
+N_GRID_FOR_M_STUDY = (20, 40, 60, 80)
+THETA_GRID = (5, 10, 15, 20)
+
+
+def _m_grid(dataset: str) -> tuple[int, ...]:
+    return M_GRID_EMAIL if dataset.lower() == "email" else M_GRID_DEFAULT
+
+
+def run_threshold_study(
+    dataset: str,
+    profile: str | ExperimentProfile = "quick",
+    *,
+    epsilon: float = 3.0,
+    n_values: Sequence[int] = N_GRID_FOR_M_STUDY,
+    m_values: Sequence[int] | None = None,
+) -> ExperimentReport:
+    """Figure 6/10 — spread vs threshold M, one series per subgraph size n."""
+    resolved = get_profile(profile)
+    setting = prepare_dataset(dataset, resolved)
+    grid = tuple(m_values) if m_values is not None else _m_grid(dataset)
+    report = ExperimentReport(
+        experiment_id="Fig. 6",
+        title=f"PrivIM* spread vs threshold M on {dataset} (eps={epsilon:g})",
+        headers=["n", *[f"M={m}" for m in grid]],
+    )
+    for n in n_values:
+        spreads = [
+            repeat_evaluation(
+                "privim_star", setting, epsilon, resolved, subgraph_size=n, threshold=m
+            ).spread_mean
+            for m in grid
+        ]
+        report.rows.append([n, *[round(s, 1) for s in spreads]])
+        report.series.append((f"{dataset}/n={n}", list(grid), spreads))
+    return report
+
+
+def run_subgraph_size_study(
+    dataset: str,
+    profile: str | ExperimentProfile = "quick",
+    *,
+    epsilon: float = 3.0,
+    n_values: Sequence[int] = N_GRID,
+    threshold: int | None = None,
+) -> ExperimentReport:
+    """Figure 7/11 — spread vs subgraph size n at the profile's default M."""
+    resolved = get_profile(profile)
+    setting = prepare_dataset(dataset, resolved)
+    m_cap = threshold if threshold is not None else resolved.threshold
+    spreads = [
+        repeat_evaluation(
+            "privim_star", setting, epsilon, resolved, subgraph_size=n, threshold=m_cap
+        ).spread_mean
+        for n in n_values
+    ]
+    report = ExperimentReport(
+        experiment_id="Fig. 7",
+        title=f"PrivIM* spread vs subgraph size n on {dataset} (eps={epsilon:g})",
+        headers=["n", "spread"],
+        rows=[[n, round(s, 1)] for n, s in zip(n_values, spreads)],
+        series=[(f"{dataset}/M={m_cap}", list(n_values), spreads)],
+    )
+    return report
+
+
+def run_theta_study(
+    dataset: str,
+    profile: str | ExperimentProfile = "quick",
+    *,
+    epsilon: float = 3.0,
+    theta_values: Sequence[int] = THETA_GRID,
+) -> ExperimentReport:
+    """Figure 13 — naive PrivIM's coverage ratio vs the in-degree bound θ."""
+    resolved = get_profile(profile)
+    setting = prepare_dataset(dataset, resolved)
+    ratios = [
+        repeat_evaluation(
+            "privim", setting, epsilon, resolved, theta=theta
+        ).ratio_mean
+        for theta in theta_values
+    ]
+    report = ExperimentReport(
+        experiment_id="Fig. 13",
+        title=f"PrivIM coverage ratio vs theta on {dataset} (eps={epsilon:g})",
+        headers=["theta", "coverage ratio %"],
+        rows=[[theta, round(r, 1)] for theta, r in zip(theta_values, ratios)],
+        series=[(f"{dataset}/PrivIM", list(theta_values), ratios)],
+    )
+    return report
+
+
+if __name__ == "__main__":
+    for name in ("facebook", "gowalla"):
+        print(run_threshold_study(name).render())
+        print(run_subgraph_size_study(name).render())
+        print()

@@ -1,0 +1,107 @@
+"""Experiment scale profiles.
+
+The paper's experiments run full-size SNAP graphs for hours on a GPU; this
+reproduction targets a laptop CPU with a numpy substrate, so every harness
+takes a profile controlling graph scale, repeats, and training length:
+
+* ``smoke`` — seconds; used by the test suite to exercise harness code.
+* ``quick`` — minutes per figure; the default for ``benchmarks/`` and the
+  numbers recorded in EXPERIMENTS.md.
+* ``full``  — the largest practical scale; closest to the paper's shapes.
+
+The *relative* comparisons (method ordering, ε trends, parameter peaks) are
+what the paper's figures establish and what these profiles preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Scale knobs shared by every experiment harness.
+
+    Attributes:
+        name: profile key.
+        max_nodes: cap on generated dataset size (after Table I scaling).
+        dataset_scale: node-count multiplier vs the original sizes.
+        seed_count: seed-set size ``k`` (paper: 50).
+        repeats: independent training repetitions averaged per point
+            (paper: 5).
+        iterations: training iterations ``T`` per run.
+        batch_size: DP-SGD batch size ``B``.
+        learning_rate: η.
+        subgraph_size: default ``n``.
+        threshold: default frequency cap ``M``.
+        epsilons: the ε sweep for Figure 5-style experiments.
+    """
+
+    name: str
+    max_nodes: int
+    dataset_scale: float
+    seed_count: int
+    repeats: int
+    iterations: int
+    batch_size: int
+    learning_rate: float
+    subgraph_size: int
+    threshold: int
+    epsilons: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+    egn_num_subgraphs: int = 192
+    base_seed: int = 20240701
+
+
+PROFILES: dict[str, ExperimentProfile] = {
+    "smoke": ExperimentProfile(
+        name="smoke",
+        max_nodes=260,
+        dataset_scale=0.02,
+        seed_count=8,
+        repeats=1,
+        iterations=8,
+        batch_size=4,
+        learning_rate=0.02,
+        subgraph_size=16,
+        threshold=4,
+        epsilons=(1.0, 4.0),
+        egn_num_subgraphs=32,
+    ),
+    "quick": ExperimentProfile(
+        name="quick",
+        max_nodes=1200,
+        dataset_scale=0.08,
+        seed_count=20,
+        repeats=4,
+        iterations=50,
+        batch_size=8,
+        learning_rate=0.02,
+        subgraph_size=30,
+        threshold=4,
+        egn_num_subgraphs=192,
+    ),
+    "full": ExperimentProfile(
+        name="full",
+        max_nodes=4000,
+        dataset_scale=0.2,
+        seed_count=50,
+        repeats=5,
+        iterations=80,
+        batch_size=16,
+        learning_rate=0.02,
+        subgraph_size=40,
+        threshold=4,
+        egn_num_subgraphs=256,
+    ),
+}
+
+
+def get_profile(profile: str | ExperimentProfile = "quick") -> ExperimentProfile:
+    """Resolve a profile name or pass an explicit profile through."""
+    if isinstance(profile, ExperimentProfile):
+        return profile
+    if profile not in PROFILES:
+        raise ExperimentError(f"unknown profile {profile!r}; known: {sorted(PROFILES)}")
+    return PROFILES[profile]

@@ -1,0 +1,42 @@
+"""Report containers shared by the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.utils.tables import format_series, format_table
+
+
+@dataclass
+class ExperimentReport:
+    """A regenerated table or figure.
+
+    Attributes:
+        experiment_id: the paper's label, e.g. ``"Table II"`` or ``"Fig. 5"``.
+        title: one-line description.
+        headers / rows: tabular payload (tables and figure grids).
+        series: list of ``(name, xs, ys)`` line plots (figures).
+        notes: free-form remarks (e.g. scale caveats).
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str] = ()
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    series: list[tuple[str, Sequence[Any], Sequence[Any]]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable text block (what the benches print)."""
+        blocks = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            blocks.append(format_table(self.headers, self.rows))
+        for name, xs, ys in self.series:
+            blocks.append(format_series(name, xs, ys))
+        blocks.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(blocks)
+
+    def series_dict(self) -> dict[str, tuple[Sequence[Any], Sequence[Any]]]:
+        """Series keyed by name for programmatic assertions in tests."""
+        return {name: (xs, ys) for name, xs, ys in self.series}

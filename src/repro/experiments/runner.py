@@ -1,0 +1,94 @@
+"""Run-everything orchestrator.
+
+``python -m repro.experiments.runner [profile] [output.md]`` regenerates
+every table and figure at the chosen profile and writes one consolidated
+markdown report — the raw material behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    diffusion_models,
+    example2,
+    fig5,
+    fig9,
+    fig_indicator,
+    friendster,
+    param_study,
+    table1,
+    table2,
+    table3,
+    weighted_ic,
+)
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.experiments.reporting import ExperimentReport
+
+
+def run_all(profile: str | ExperimentProfile = "quick") -> list[ExperimentReport]:
+    """Regenerate every artefact; returns the reports in paper order."""
+    resolved = get_profile(profile)
+    reports: list[ExperimentReport] = []
+
+    reports.append(table1.run(resolved))
+    for panel in fig5.run(resolved):
+        reports.append(panel)
+    reports.append(friendster.run(resolved))
+    reports.append(table2.run(resolved))
+    for dataset in ("facebook", "gowalla"):
+        reports.append(param_study.run_threshold_study(dataset, resolved))
+    for dataset in ("lastfm", "gowalla"):
+        reports.append(param_study.run_subgraph_size_study(dataset, resolved))
+    reports.append(fig_indicator.run_m_sweep("lastfm", resolved))
+    reports.append(fig_indicator.run_n_sweep("lastfm", resolved))
+    reports.append(fig9.run(resolved))
+    reports.append(table3.run(resolved))
+    reports.append(param_study.run_theta_study("lastfm", resolved))
+    reports.append(fig5.run_hepph(resolved))
+    for variant in fig_indicator.run_epsilon_variants("lastfm", resolved):
+        reports.append(variant)
+    reports.append(ablations.run_decay_ablation("lastfm", resolved))
+    reports.append(ablations.run_phi_ablation("lastfm", resolved))
+    reports.append(ablations.run_accountant_ablation())
+    reports.append(diffusion_models.run("lastfm", resolved))
+    reports.append(example2.run("lastfm", resolved))
+    reports.append(weighted_ic.run("lastfm", resolved))
+    return reports
+
+
+def write_markdown(reports: list[ExperimentReport], path: str) -> None:
+    """Write the reports as one markdown document with fenced blocks."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# Regenerated tables and figures\n\n")
+        for report in reports:
+            handle.write(f"## {report.experiment_id} — {report.title}\n\n")
+            handle.write("```\n")
+            handle.write(report.render())
+            handle.write("\n```\n\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro.experiments.runner [profile] [output.md]``."""
+    arguments = sys.argv[1:] if argv is None else argv
+    profile = arguments[0] if arguments else "quick"
+    output = arguments[1] if len(arguments) > 1 else None
+
+    started = time.perf_counter()
+    reports = run_all(profile)
+    elapsed = time.perf_counter() - started
+
+    for report in reports:
+        print(report.render())
+        print()
+    print(f"regenerated {len(reports)} artefacts in {elapsed:.1f}s")
+    if output:
+        write_markdown(reports, output)
+        print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Generality check: PrivIM* under *probabilistic* IC weights.
+
+The paper's evaluation fixes ``w = 1, j = 1`` (deterministic coverage).
+The library supports general weighted IC, so this harness validates that
+the private pipeline still selects good seeds when the influence
+probabilities are genuinely stochastic:
+
+* ground truth comes from RIS (reverse-reachable sampling handles weighted
+  IC natively and keeps its ``(1 − 1/e)`` guarantee);
+* each method's seed set is scored by Monte-Carlo IC simulation;
+* random selection anchors the bottom of the scale.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.harness import prepare_dataset
+from repro.experiments.methods import build_method, display_name
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.experiments.reporting import ExperimentReport
+from repro.im.heuristics import random_seeds
+from repro.im.ris import ris_im
+from repro.im.spread import estimate_spread
+
+
+def run(
+    dataset: str = "lastfm",
+    profile: str | ExperimentProfile = "quick",
+    *,
+    epsilon: float = 4.0,
+    edge_probability: float = 0.2,
+    diffusion_steps: int = 3,
+    methods: Sequence[str] = ("privim_star", "privim", "non_private"),
+    num_simulations: int = 40,
+    num_rr_sets: int = 2000,
+) -> ExperimentReport:
+    """Weighted-IC evaluation of each method vs RIS and random."""
+    resolved = get_profile(profile)
+    setting = prepare_dataset(dataset, resolved)
+    weighted = setting.test_graph.with_uniform_weights(edge_probability)
+    k = setting.seed_count
+
+    def mc_spread(seeds: list[int]) -> float:
+        return estimate_spread(
+            weighted,
+            seeds,
+            model="ic",
+            steps=diffusion_steps,
+            num_simulations=num_simulations,
+            rng=resolved.base_seed,
+        )
+
+    ris_seeds, _ = ris_im(
+        weighted, k, num_rr_sets=num_rr_sets, max_steps=diffusion_steps,
+        rng=resolved.base_seed,
+    )
+    ris_spread = mc_spread(ris_seeds)
+    random_spread = float(
+        np.mean([mc_spread(random_seeds(weighted, k, seed)) for seed in range(5)])
+    )
+
+    report = ExperimentReport(
+        experiment_id="Extension (weighted IC)",
+        title=(
+            f"Probabilistic IC (w={edge_probability:g}, j={diffusion_steps}) "
+            f"on {dataset}, eps={epsilon:g}"
+        ),
+        headers=["selector", "MC spread", "% of RIS"],
+    )
+    report.rows.append(["RIS (non-private ground truth)", round(ris_spread, 1), 100.0])
+    for method in methods:
+        pipeline = build_method(
+            method,
+            None if method == "non_private" else epsilon,
+            resolved,
+            resolved.base_seed + 77,
+        )
+        pipeline.fit(setting.train_graph)
+        seeds = pipeline.select_seeds(setting.test_graph, k)
+        spread = mc_spread(seeds)
+        report.rows.append(
+            [display_name(method), round(spread, 1), round(100 * spread / ris_spread, 1)]
+        )
+        report.series.append((f"{dataset}/{display_name(method)}", ["mc"], [spread]))
+    report.rows.append(
+        ["random", round(random_spread, 1), round(100 * random_spread / ris_spread, 1)]
+    )
+    report.notes.append(
+        "the paper evaluates at w=1/j=1; this harness checks the pipeline "
+        "generalises to stochastic influence probabilities"
+    )
+    return report
+
+
+if __name__ == "__main__":
+    print(run().render())

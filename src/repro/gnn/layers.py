@@ -1,0 +1,252 @@
+"""The five GNN convolution layers evaluated in the paper (Appendix G).
+
+Every layer implements ``forward(x, edge_index, edge_weight) -> Tensor`` with
+messages flowing source → target.  The formulations follow the paper's
+Appendix G exactly:
+
+* :class:`GCNConv` — symmetric degree-normalised sum (Eq. 31–32);
+* :class:`SAGEConv` — mean aggregation concatenated with the self feature
+  (Eq. 29–30);
+* :class:`GATConv` — attention normalised over each *target's* incoming
+  edges (Eq. 33–36);
+* :class:`GRATConv` — the paper's preferred variant: the same attention
+  scores normalised over each *source's* outgoing edges (Eq. 37–40), which
+  penalises nodes whose coverage overlaps;
+* :class:`GINConv` — MLP over ``(1 + ω)·h_v + Σ_u h_u`` (Eq. 41–42).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.message_passing import add_self_loops, aggregate_neighbors, check_edge_index
+from repro.nn import functional as F
+from repro.nn.init import xavier_uniform
+from repro.nn.module import Linear, Module, Parameter
+from repro.nn.tensor import Tensor, concat
+
+
+class GCNConv(Module):
+    """Graph convolution with symmetric ``1/sqrt(d_u d_v)`` normalisation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        self_loops: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        self.linear = Linear(in_features, out_features, rng=rng)
+        self.self_loops = bool(self_loops)
+
+    def forward(
+        self, x: Tensor, edge_index: np.ndarray, edge_weight: np.ndarray | None = None
+    ) -> Tensor:
+        num_nodes = x.shape[0]
+        edges = check_edge_index(edge_index, num_nodes)
+        weights = (
+            np.ones(edges.shape[1])
+            if edge_weight is None
+            else np.asarray(edge_weight, dtype=np.float64)
+        )
+        if self.self_loops:
+            edges, weights = add_self_loops(edges, weights, num_nodes)
+        sources, targets = edges[0], edges[1]
+        degree = np.bincount(targets, weights=weights, minlength=num_nodes)
+        degree_source = np.bincount(sources, weights=weights, minlength=num_nodes)
+        inv_sqrt_in = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+        inv_sqrt_out = 1.0 / np.sqrt(np.maximum(degree_source, 1e-12))
+        norm = weights * inv_sqrt_out[sources] * inv_sqrt_in[targets]
+        aggregated = aggregate_neighbors(x, edges, num_nodes, edge_weight=norm)
+        return self.linear(aggregated)
+
+
+class SAGEConv(Module):
+    """GraphSAGE with mean aggregation and self/neighbour concatenation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        self.linear = Linear(2 * in_features, out_features, rng=rng)
+
+    def forward(
+        self, x: Tensor, edge_index: np.ndarray, edge_weight: np.ndarray | None = None
+    ) -> Tensor:
+        num_nodes = x.shape[0]
+        aggregated = aggregate_neighbors(
+            x, edge_index, num_nodes, edge_weight=edge_weight, reduce="mean"
+        )
+        return self.linear(concat([x, aggregated], axis=1))
+
+
+def _column_selector(width: int, start: int, count: int) -> Tensor:
+    """Constant 0/1 matrix selecting columns ``start .. start+count``.
+
+    Column slicing as a matmul keeps the operation inside the autograd
+    primitives (the gradient is the transposed scatter back into place).
+    """
+    selector = np.zeros((width, count))
+    selector[np.arange(start, start + count), np.arange(count)] = 1.0
+    return Tensor(selector)
+
+
+class _AttentionConv(Module):
+    """Shared machinery for GAT/GRAT: only the softmax segment differs.
+
+    Supports multi-head attention: each of the ``heads`` attention heads
+    runs over its own ``out_features // heads`` slice of the transformed
+    features and the head outputs are concatenated (the standard GAT
+    arrangement).  ``out_features`` must be divisible by ``heads``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        heads: int = 1,
+        negative_slope: float = 0.2,
+        normalize_over: str = "target",
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if normalize_over not in ("target", "source"):
+            raise ValueError("normalize_over must be 'target' or 'source'")
+        if heads < 1 or out_features % heads != 0:
+            raise ValueError(
+                f"out_features ({out_features}) must be divisible by heads ({heads})"
+            )
+        from repro.utils.rng import spawn_rngs
+
+        rngs = spawn_rngs(rng, heads + 1)
+        self.linear = Linear(in_features, out_features, bias=False, rng=rngs[0])
+        self.heads = int(heads)
+        self.head_dim = out_features // heads
+        self.attentions = [
+            Parameter(xavier_uniform((2 * self.head_dim, 1), rng=rngs[1 + h]))
+            for h in range(heads)
+        ]
+        self.negative_slope = float(negative_slope)
+        self.normalize_over = normalize_over
+
+    @property
+    def attention(self) -> Parameter:
+        """The first head's attention vector (backward compatibility)."""
+        return self.attentions[0]
+
+    def forward(
+        self, x: Tensor, edge_index: np.ndarray, edge_weight: np.ndarray | None = None
+    ) -> Tensor:
+        num_nodes = x.shape[0]
+        edges = check_edge_index(edge_index, num_nodes)
+        if edges.shape[1] == 0:
+            return self.linear(x) * 0.0
+        sources, targets = edges[0], edges[1]
+
+        transformed = self.linear(x)
+        segments = targets if self.normalize_over == "target" else sources
+        weight_column = (
+            None
+            if edge_weight is None
+            else Tensor(np.asarray(edge_weight, dtype=np.float64).reshape(-1, 1))
+        )
+        source_feats = transformed.gather_rows(sources)
+        target_feats = transformed.gather_rows(targets)
+
+        head_outputs = []
+        for head, attention in enumerate(self.attentions):
+            lo = head * self.head_dim
+            selector = _column_selector(transformed.shape[1], lo, self.head_dim)
+            head_sources = source_feats @ selector
+            head_targets = target_feats @ selector
+            pair = concat([head_sources, head_targets], axis=1)
+            logits = F.leaky_relu(pair @ attention, self.negative_slope).reshape(-1)
+            alpha = F.segment_softmax(logits, segments, num_nodes)
+            messages = head_sources * alpha.reshape(-1, 1)
+            if weight_column is not None:
+                messages = messages * weight_column
+            head_outputs.append(F.scatter_add_rows(messages, targets, num_nodes))
+        if len(head_outputs) == 1:
+            return head_outputs[0]
+        return concat(head_outputs, axis=1)
+
+
+class GATConv(_AttentionConv):
+    """Graph attention with per-target normalisation (Veličković et al.)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        heads: int = 1,
+        negative_slope: float = 0.2,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(
+            in_features,
+            out_features,
+            heads=heads,
+            negative_slope=negative_slope,
+            normalize_over="target",
+            rng=rng,
+        )
+
+
+class GRATConv(_AttentionConv):
+    """GAT variant normalising attention at the *source* (FastCover's GRAT).
+
+    Normalising over each source's successors means a node whose coverage
+    overlaps other influential nodes receives a reduced reward — the
+    property the paper credits for GRAT's edge on IM tasks.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        heads: int = 1,
+        negative_slope: float = 0.2,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(
+            in_features,
+            out_features,
+            heads=heads,
+            negative_slope=negative_slope,
+            normalize_over="source",
+            rng=rng,
+        )
+
+
+class GINConv(Module):
+    """Graph isomorphism layer: ``MLP((1 + ω)·h_v + Σ_u h_u)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        hidden_features: int | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        hidden = hidden_features if hidden_features is not None else out_features
+        from repro.utils.rng import spawn_rngs
+
+        rng1, rng2 = spawn_rngs(rng, 2)
+        self.mlp_in = Linear(in_features, hidden, rng=rng1)
+        self.mlp_out = Linear(hidden, out_features, rng=rng2)
+        self.epsilon = Parameter(np.zeros(1))  # the learnable ω
+
+    def forward(
+        self, x: Tensor, edge_index: np.ndarray, edge_weight: np.ndarray | None = None
+    ) -> Tensor:
+        num_nodes = x.shape[0]
+        aggregated = aggregate_neighbors(x, edge_index, num_nodes, edge_weight=edge_weight)
+        combined = aggregated + x * (1.0 + self.epsilon)
+        return self.mlp_out(self.mlp_in(combined).relu())

@@ -1,0 +1,86 @@
+"""Edge-indexed message passing primitives.
+
+A graph is presented to the GNN stack as:
+
+* ``edge_index`` — ``(2, E)`` int array, row 0 sources, row 1 targets;
+  messages flow source → target (matching the paper's convention that node
+  ``u`` aggregates from its influencers ``v ∈ N(u)``, Eq. 1);
+* ``edge_weight`` — ``(E,)`` float array of influence probabilities ``w_vu``.
+
+All layers are built from two primitives: gather rows at sources, scatter-add
+rows at targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def check_edge_index(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Validate and normalise an edge-index array."""
+    array = np.asarray(edge_index, dtype=np.int64)
+    if array.ndim != 2 or array.shape[0] != 2:
+        raise ShapeError(f"edge_index must have shape (2, E), got {array.shape}")
+    if array.size and (array.min() < 0 or array.max() >= num_nodes):
+        raise ShapeError("edge_index endpoints out of range")
+    return array
+
+
+def add_self_loops(
+    edge_index: np.ndarray,
+    edge_weight: np.ndarray,
+    num_nodes: int,
+    *,
+    loop_weight: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Append a self-loop to every node (GCN's renormalisation trick)."""
+    loops = np.arange(num_nodes, dtype=np.int64)
+    new_index = np.concatenate([edge_index, np.stack([loops, loops])], axis=1)
+    new_weight = np.concatenate(
+        [np.asarray(edge_weight, dtype=np.float64), np.full(num_nodes, loop_weight)]
+    )
+    return new_index, new_weight
+
+
+def aggregate_neighbors(
+    x: Tensor,
+    edge_index: np.ndarray,
+    num_nodes: int,
+    *,
+    edge_weight: np.ndarray | None = None,
+    reduce: str = "sum",
+) -> Tensor:
+    """Aggregate source-node features onto targets.
+
+    ``out[v] = reduce_{(u, v) in E} w_uv * x[u]``.
+
+    Args:
+        x: ``(N, d)`` node feature tensor.
+        edge_index: ``(2, E)`` source/target array.
+        num_nodes: N.
+        edge_weight: optional ``(E,)`` multiplicative weights.
+        reduce: ``"sum"`` or ``"mean"`` (mean divides by in-degree,
+            counting only present edges; isolated nodes stay zero).
+    """
+    edges = check_edge_index(edge_index, num_nodes)
+    sources, targets = edges[0], edges[1]
+    messages = x.gather_rows(sources)
+    if edge_weight is not None:
+        weights = np.asarray(edge_weight, dtype=np.float64)
+        if weights.shape != (edges.shape[1],):
+            raise ShapeError(
+                f"edge_weight must have shape ({edges.shape[1]},), got {weights.shape}"
+            )
+        messages = messages * Tensor(weights.reshape(-1, 1))
+    aggregated = F.scatter_add_rows(messages, targets, num_nodes)
+    if reduce == "sum":
+        return aggregated
+    if reduce == "mean":
+        degree = np.bincount(targets, minlength=num_nodes).astype(np.float64)
+        degree[degree == 0] = 1.0
+        return aggregated * Tensor(1.0 / degree.reshape(-1, 1))
+    raise ShapeError(f"reduce must be 'sum' or 'mean', got {reduce!r}")

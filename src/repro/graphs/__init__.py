@@ -1,0 +1,54 @@
+"""Graph substrate: CSR graphs, projections, neighbourhoods, generators."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.builders import (
+    from_adjacency_matrix,
+    from_networkx,
+    to_networkx,
+)
+from repro.graphs.degree import project_in_degree, project_out_degree
+from repro.graphs.neighborhoods import k_hop_nodes, k_hop_subgraph
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    stochastic_block_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.partition import partition_graph
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.graphs.metrics import (
+    GraphSummary,
+    average_clustering_coefficient,
+    connected_components,
+    degree_gini,
+    degree_histogram,
+    largest_component_fraction,
+    summarize_graph,
+)
+
+__all__ = [
+    "Graph",
+    "from_adjacency_matrix",
+    "from_networkx",
+    "to_networkx",
+    "project_in_degree",
+    "project_out_degree",
+    "k_hop_nodes",
+    "k_hop_subgraph",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "powerlaw_cluster_graph",
+    "stochastic_block_graph",
+    "partition_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "GraphSummary",
+    "summarize_graph",
+    "degree_histogram",
+    "degree_gini",
+    "average_clustering_coefficient",
+    "connected_components",
+    "largest_component_fraction",
+]

@@ -1,0 +1,72 @@
+"""Degree-bounding projections.
+
+The naive PrivIM pipeline (Section III-B) projects the training graph to a
+θ-bounded graph ``G^θ`` by *randomly removing* in-edges from every node whose
+in-degree exceeds θ.  Bounding the in-degree bounds how many subgraphs a
+single node can leak into (Lemma 1), which in turn bounds the DP sensitivity
+(Lemma 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.utils.rng import ensure_rng
+
+
+def project_in_degree(
+    graph: Graph, theta: int, rng: int | np.random.Generator | None = None
+) -> Graph:
+    """Project ``graph`` to the θ-bounded graph ``G^θ`` (in-degree ≤ θ).
+
+    For every node with in-degree above ``theta`` a uniformly random subset
+    of exactly ``theta`` in-edges is kept (Algorithm 1's preprocessing).
+
+    Args:
+        graph: the original graph.
+        theta: maximum in-degree after projection; must be ≥ 1.
+        rng: seed or generator for the random edge selection.
+
+    Returns:
+        A new :class:`Graph` whose in-degrees are all ≤ ``theta``.
+    """
+    if theta < 1:
+        raise GraphError(f"theta must be >= 1, got {theta}")
+    generator = ensure_rng(rng)
+
+    kept_sources: list[np.ndarray] = []
+    kept_targets: list[np.ndarray] = []
+    kept_weights: list[np.ndarray] = []
+    for node in range(graph.num_nodes):
+        sources = graph.in_neighbors(node)
+        weights = graph.in_weights(node)
+        if len(sources) > theta:
+            keep = generator.choice(len(sources), size=theta, replace=False)
+            sources = sources[keep]
+            weights = weights[keep]
+        kept_sources.append(np.asarray(sources, dtype=np.int64))
+        kept_targets.append(np.full(len(sources), node, dtype=np.int64))
+        kept_weights.append(np.asarray(weights, dtype=np.float64))
+
+    if kept_sources:
+        all_sources = np.concatenate(kept_sources)
+        all_targets = np.concatenate(kept_targets)
+        all_weights = np.concatenate(kept_weights)
+    else:  # empty graph
+        all_sources = np.empty(0, dtype=np.int64)
+        all_targets = np.empty(0, dtype=np.int64)
+        all_weights = np.empty(0, dtype=np.float64)
+
+    edges = np.stack([all_sources, all_targets], axis=1)
+    projected = Graph(graph.num_nodes, edges, all_weights, directed=True)
+    projected.is_directed = graph.is_directed
+    return projected
+
+
+def project_out_degree(
+    graph: Graph, theta: int, rng: int | np.random.Generator | None = None
+) -> Graph:
+    """Bound every node's *out*-degree to ``theta`` (edge-level DP variant)."""
+    return project_in_degree(graph.reverse(), theta, rng).reverse()

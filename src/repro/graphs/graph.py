@@ -1,0 +1,282 @@
+"""The :class:`Graph` data structure.
+
+A directed, weighted graph stored in compressed-sparse-row (CSR) form in
+*both* directions:
+
+* out-CSR — for each node ``u``, the targets ``v`` of edges ``(u, v)`` and
+  their influence weights ``w_uv`` (the probability that ``u`` activates
+  ``v`` in the Independent Cascade model);
+* in-CSR — for each node ``v``, the sources ``u`` of edges ``(u, v)``,
+  mirroring the same weights.
+
+The dual representation is what the paper's algorithms need: random walks
+and diffusion traverse out-edges, while GNN message passing and the
+in-degree bound θ operate on in-edges.  Undirected graphs are represented
+as directed graphs with both arc directions present (``is_directed`` is
+kept as metadata so dataset statistics report the undirected edge count).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+def _build_csr(
+    num_nodes: int, sources: np.ndarray, targets: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort edges by ``sources`` and build (indptr, indices, weights)."""
+    order = np.argsort(sources, kind="stable")
+    sorted_sources = sources[order]
+    indices = targets[order]
+    sorted_weights = weights[order]
+    counts = np.bincount(sorted_sources, minlength=num_nodes)
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, indices.astype(np.int64), sorted_weights.astype(np.float64)
+
+
+class Graph:
+    """A weighted directed graph in dual-CSR form.
+
+    Instances are conceptually immutable: all mutating operations
+    (projection, subgraph extraction) return new graphs.
+
+    Args:
+        num_nodes: number of nodes; node ids are ``0 .. num_nodes - 1``.
+        edges: ``(E, 2)`` integer array (or sequence of pairs) of directed
+            edges ``(u, v)``.  For undirected graphs pass each edge once and
+            set ``directed=False``; both arcs are materialised.
+        weights: optional per-edge influence probabilities in ``[0, 1]``;
+            defaults to 1.0 for every edge (the paper's evaluation setting).
+        directed: whether ``edges`` are directed arcs.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Sequence[tuple[int, int]] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+        *,
+        directed: bool = True,
+    ) -> None:
+        if num_nodes < 0:
+            raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+        edge_array = np.asarray(edges, dtype=np.int64)
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 2)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise GraphError(f"edges must have shape (E, 2), got {edge_array.shape}")
+        if edge_array.size and (edge_array.min() < 0 or edge_array.max() >= num_nodes):
+            raise GraphError("edge endpoints must be in [0, num_nodes)")
+
+        if weights is None:
+            weight_array = np.ones(len(edge_array), dtype=np.float64)
+        else:
+            weight_array = np.asarray(weights, dtype=np.float64)
+            if weight_array.shape != (len(edge_array),):
+                raise GraphError(
+                    f"weights must have shape ({len(edge_array)},), got {weight_array.shape}"
+                )
+            if weight_array.size and (weight_array.min() < 0 or weight_array.max() > 1):
+                raise GraphError("edge weights must be influence probabilities in [0, 1]")
+
+        self.num_nodes = int(num_nodes)
+        self.is_directed = bool(directed)
+        self._undirected_edge_count = 0 if directed else len(edge_array)
+
+        if not directed and len(edge_array):
+            # Materialise both arc directions; drop accidental duplicates.
+            forward = edge_array
+            backward = edge_array[:, ::-1]
+            edge_array = np.concatenate([forward, backward], axis=0)
+            weight_array = np.concatenate([weight_array, weight_array])
+            edge_array, unique_idx = np.unique(edge_array, axis=0, return_index=True)
+            weight_array = weight_array[unique_idx]
+
+        self._sources = edge_array[:, 0].copy()
+        self._targets = edge_array[:, 1].copy()
+        self._weights_raw = weight_array.copy()
+
+        self._out_indptr, self._out_indices, self._out_weights = _build_csr(
+            num_nodes, self._sources, self._targets, weight_array
+        )
+        self._in_indptr, self._in_indices, self._in_weights = _build_csr(
+            num_nodes, self._targets, self._sources, weight_array
+        )
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_edges(self) -> int:
+        """Number of stored directed arcs (2x the edge count if undirected)."""
+        return int(len(self._out_indices))
+
+    @property
+    def num_undirected_edges(self) -> int:
+        """Edge count as reported for undirected datasets (each edge once)."""
+        if self.is_directed:
+            return self.num_edges
+        return self.num_edges // 2
+
+    @property
+    def average_degree(self) -> float:
+        """Average degree: arcs per node (matches the paper's Table I)."""
+        if self.num_nodes == 0:
+            return 0.0
+        return self.num_edges / self.num_nodes
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every node as an ``int64`` array."""
+        return np.diff(self._out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every node as an ``int64`` array."""
+        return np.diff(self._in_indptr)
+
+    # ------------------------------------------------------------------ #
+    # Neighbourhood access
+    # ------------------------------------------------------------------ #
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise GraphError(f"node {node} out of range [0, {self.num_nodes})")
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        """Targets of edges leaving ``node`` (view, do not mutate)."""
+        self._check_node(node)
+        return self._out_indices[self._out_indptr[node] : self._out_indptr[node + 1]]
+
+    def in_neighbors(self, node: int) -> np.ndarray:
+        """Sources of edges entering ``node`` (view, do not mutate)."""
+        self._check_node(node)
+        return self._in_indices[self._in_indptr[node] : self._in_indptr[node + 1]]
+
+    def out_weights(self, node: int) -> np.ndarray:
+        """Weights aligned with :meth:`out_neighbors`."""
+        self._check_node(node)
+        return self._out_weights[self._out_indptr[node] : self._out_indptr[node + 1]]
+
+    def in_weights(self, node: int) -> np.ndarray:
+        """Weights aligned with :meth:`in_neighbors`."""
+        self._check_node(node)
+        return self._in_weights[self._in_indptr[node] : self._in_indptr[node + 1]]
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether the arc ``(source, target)`` exists."""
+        self._check_node(source)
+        self._check_node(target)
+        return bool(np.isin(target, self.out_neighbors(source)).item())
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over all arcs as ``(source, target, weight)`` triples."""
+        for source in range(self.num_nodes):
+            start, stop = self._out_indptr[source], self._out_indptr[source + 1]
+            for offset in range(start, stop):
+                yield (
+                    int(source),
+                    int(self._out_indices[offset]),
+                    float(self._out_weights[offset]),
+                )
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All arcs as ``(sources, targets, weights)`` arrays (CSR order)."""
+        sources = np.repeat(np.arange(self.num_nodes), np.diff(self._out_indptr))
+        return sources, self._out_indices.copy(), self._out_weights.copy()
+
+    def edge_index(self) -> np.ndarray:
+        """Arcs as a ``(2, E)`` array ``[sources; targets]`` for GNN layers."""
+        sources, targets, _ = self.edge_arrays()
+        return np.stack([sources, targets])
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def subgraph(self, nodes: Sequence[int] | np.ndarray) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``nodes``.
+
+        Returns:
+            ``(subgraph, node_map)`` where ``node_map[i]`` is the original id
+            of subgraph node ``i``.  Node order follows ``nodes`` (duplicates
+            are rejected).
+        """
+        node_array = np.asarray(nodes, dtype=np.int64)
+        if node_array.ndim != 1:
+            raise GraphError("nodes must be a 1-D sequence of node ids")
+        if len(np.unique(node_array)) != len(node_array):
+            raise GraphError("nodes must not contain duplicates")
+        if node_array.size and (node_array.min() < 0 or node_array.max() >= self.num_nodes):
+            raise GraphError("subgraph nodes out of range")
+
+        relabel = np.full(self.num_nodes, -1, dtype=np.int64)
+        relabel[node_array] = np.arange(len(node_array))
+        sources, targets, weights = self.edge_arrays()
+        keep = (relabel[sources] >= 0) & (relabel[targets] >= 0)
+        sub_edges = np.stack([relabel[sources[keep]], relabel[targets[keep]]], axis=1)
+        sub = Graph(len(node_array), sub_edges, weights[keep], directed=True)
+        sub.is_directed = self.is_directed
+        return sub, node_array.copy()
+
+    def reverse(self) -> "Graph":
+        """Graph with every arc reversed."""
+        sources, targets, weights = self.edge_arrays()
+        reversed_edges = np.stack([targets, sources], axis=1)
+        graph = Graph(self.num_nodes, reversed_edges, weights, directed=True)
+        graph.is_directed = self.is_directed
+        return graph
+
+    def with_uniform_weights(self, weight: float) -> "Graph":
+        """Copy of the graph with every arc weight set to ``weight``."""
+        if not 0.0 <= weight <= 1.0:
+            raise GraphError(f"weight must be in [0, 1], got {weight}")
+        sources, targets, _ = self.edge_arrays()
+        edges = np.stack([sources, targets], axis=1)
+        graph = Graph(self.num_nodes, edges, np.full(len(edges), weight), directed=True)
+        graph.is_directed = self.is_directed
+        return graph
+
+    def remove_nodes(self, nodes: Sequence[int] | np.ndarray) -> tuple["Graph", np.ndarray]:
+        """Graph with ``nodes`` deleted; returns ``(graph, kept_node_map)``."""
+        drop = np.zeros(self.num_nodes, dtype=bool)
+        node_array = np.asarray(nodes, dtype=np.int64)
+        if node_array.size:
+            drop[node_array] = True
+        kept = np.flatnonzero(~drop)
+        return self.subgraph(kept)
+
+    # ------------------------------------------------------------------ #
+    # Dense export (small graphs only)
+    # ------------------------------------------------------------------ #
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense ``(|V|, |V|)`` weight matrix ``A[u, v] = w_uv``.
+
+        Intended for small (sub)graphs; raises for graphs above 10k nodes to
+        prevent accidental quadratic blow-ups.
+        """
+        if self.num_nodes > 10_000:
+            raise GraphError("adjacency_matrix() is restricted to graphs with <= 10k nodes")
+        matrix = np.zeros((self.num_nodes, self.num_nodes), dtype=np.float64)
+        sources, targets, weights = self.edge_arrays()
+        matrix[sources, targets] = weights
+        return matrix
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.is_directed else "undirected"
+        return f"Graph(num_nodes={self.num_nodes}, num_arcs={self.num_edges}, {kind})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self.num_nodes != other.num_nodes or self.num_edges != other.num_edges:
+            return False
+        return (
+            np.array_equal(self._out_indptr, other._out_indptr)
+            and np.array_equal(self._out_indices, other._out_indices)
+            and np.allclose(self._out_weights, other._out_weights)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are not dict keys
+        return id(self)

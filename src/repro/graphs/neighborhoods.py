@@ -1,0 +1,76 @@
+"""r-hop neighbourhood queries used to constrain the random walks.
+
+Algorithm 1 restricts each random walk to ``N_r(v0)`` — the set of nodes
+within ``r`` hops of the start node — so one subgraph can only touch nodes
+an r-layer GNN would aggregate anyway.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+def k_hop_nodes(
+    graph: Graph,
+    source: int,
+    hops: int,
+    *,
+    direction: str = "out",
+) -> set[int]:
+    """Nodes within ``hops`` hops of ``source`` (inclusive of ``source``).
+
+    Args:
+        graph: the graph to traverse.
+        source: start node.
+        hops: maximum hop distance (``0`` returns just ``{source}``).
+        direction: ``"out"`` follows out-edges, ``"in"`` in-edges,
+            ``"both"`` treats edges as undirected.
+    """
+    if hops < 0:
+        raise GraphError(f"hops must be non-negative, got {hops}")
+    if direction not in ("out", "in", "both"):
+        raise GraphError(f"direction must be 'out', 'in', or 'both', got {direction!r}")
+    if not 0 <= source < graph.num_nodes:
+        raise GraphError(f"source {source} out of range")
+
+    def neighbors(node: int) -> np.ndarray:
+        if direction == "out":
+            return graph.out_neighbors(node)
+        if direction == "in":
+            return graph.in_neighbors(node)
+        return np.concatenate([graph.out_neighbors(node), graph.in_neighbors(node)])
+
+    visited = {source}
+    frontier = deque([(source, 0)])
+    while frontier:
+        node, depth = frontier.popleft()
+        if depth == hops:
+            continue
+        for neighbor in neighbors(node):
+            neighbor = int(neighbor)
+            if neighbor not in visited:
+                visited.add(neighbor)
+                frontier.append((neighbor, depth + 1))
+    return visited
+
+
+def k_hop_subgraph(
+    graph: Graph,
+    source: int,
+    hops: int,
+    *,
+    direction: str = "out",
+) -> tuple[Graph, np.ndarray]:
+    """Induced subgraph on the ``hops``-hop ball around ``source``.
+
+    Returns ``(subgraph, node_map)`` like :meth:`Graph.subgraph`; the start
+    node is always subgraph node ``0``.
+    """
+    ball = k_hop_nodes(graph, source, hops, direction=direction)
+    ordered = [source] + sorted(ball - {source})
+    return graph.subgraph(ordered)

@@ -1,0 +1,27 @@
+"""Simple seed-selection heuristics (sanity baselines for the library)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.utils.rng import ensure_rng
+
+
+def degree_seeds(graph: Graph, k: int) -> list[int]:
+    """Top-``k`` nodes by out-degree (the classic degree heuristic)."""
+    if not 1 <= k <= graph.num_nodes:
+        raise GraphError(f"k must be in [1, {graph.num_nodes}], got {k}")
+    order = np.argsort(-graph.out_degrees(), kind="stable")
+    return [int(node) for node in order[:k]]
+
+
+def random_seeds(
+    graph: Graph, k: int, rng: int | np.random.Generator | None = None
+) -> list[int]:
+    """``k`` uniformly random distinct seeds."""
+    if not 1 <= k <= graph.num_nodes:
+        raise GraphError(f"k must be in [1, {graph.num_nodes}], got {k}")
+    generator = ensure_rng(rng)
+    return [int(n) for n in generator.choice(graph.num_nodes, size=k, replace=False)]

@@ -1,0 +1,18 @@
+"""Evaluation metrics (Section V-A)."""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+
+
+def coverage_ratio(method_spread: float, celf_spread: float) -> float:
+    """The paper's Coverage Ratio: ``|V_method| / |V_CELF|`` (in percent).
+
+    CELF's ``(1 − 1/e)``-approximate spread is the denominator, so values
+    near 100 mean the method matches the ground-truth greedy baseline.
+    """
+    if celf_spread <= 0:
+        raise GraphError(f"celf_spread must be positive, got {celf_spread}")
+    if method_spread < 0:
+        raise GraphError(f"method_spread must be non-negative, got {method_spread}")
+    return 100.0 * method_spread / celf_spread

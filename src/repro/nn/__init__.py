@@ -1,0 +1,38 @@
+"""A small reverse-mode autograd engine on numpy.
+
+The paper trains its GNNs with PyTorch; no deep-learning framework is
+available in this environment, so this package is a from-scratch substrate
+providing the pieces DP-SGD training needs: a :class:`Tensor` with
+reverse-mode autodiff, :class:`Module`/:class:`Parameter` containers,
+initialisers, and optimisers.  Per-subgraph gradients (the unit DP-SGD clips)
+are obtained by running ``backward()`` once per subgraph.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn import functional
+from repro.nn.module import Dropout, Linear, Module, Parameter, Sequential
+from repro.nn.init import kaiming_uniform, xavier_uniform, zeros_
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.schedulers import ConstantLR, CosineLR, LRScheduler, StepDecayLR, build_scheduler
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Sequential",
+    "Dropout",
+    "xavier_uniform",
+    "kaiming_uniform",
+    "zeros_",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "ConstantLR",
+    "StepDecayLR",
+    "CosineLR",
+    "build_scheduler",
+]

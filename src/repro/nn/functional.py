@@ -1,0 +1,157 @@
+"""Functional operations built on :class:`~repro.nn.tensor.Tensor`.
+
+Includes the segment (scatter/gather) primitives message passing is built
+from: a GNN layer gathers source-node rows along edges, transforms them, and
+scatter-adds them onto target nodes.  Segment softmax (needed by GAT/GRAT
+attention) is composed from these primitives with a numerically-stabilising
+constant shift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AutogradError, ShapeError
+from repro.nn.tensor import Tensor, concat
+
+__all__ = [
+    "concat",
+    "gather_rows",
+    "scatter_add_rows",
+    "segment_softmax",
+    "segment_sum",
+    "sigmoid",
+    "relu",
+    "leaky_relu",
+    "clamp01",
+    "one_minus_exp",
+    "log_sigmoid",
+    "softmax",
+]
+
+
+def gather_rows(tensor: Tensor, indices: np.ndarray) -> Tensor:
+    """Row gather ``tensor[indices]`` (see :meth:`Tensor.gather_rows`)."""
+    return Tensor._lift(tensor).gather_rows(indices)
+
+
+def scatter_add_rows(tensor: Tensor, indices: np.ndarray, num_rows: int) -> Tensor:
+    """Scatter-add rows of ``tensor`` into a ``(num_rows, ...)`` output.
+
+    ``out[i] = Σ_{j : indices[j] == i} tensor[j]`` — the aggregation step of
+    message passing.  The gradient is a row gather.
+    """
+    source = Tensor._lift(tensor)
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.ndim != 1 or len(idx) != source.shape[0]:
+        raise ShapeError(
+            f"indices must be 1-D with length {source.shape[0]}, got shape {idx.shape}"
+        )
+    if len(idx) and (idx.min() < 0 or idx.max() >= num_rows):
+        raise AutogradError("scatter indices out of range")
+    out_data = np.zeros((num_rows,) + source.shape[1:], dtype=np.float64)
+    np.add.at(out_data, idx, source.data)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if source.requires_grad:
+            source._accumulate(grad[idx])
+
+    return source._make(out_data, (source,), backward_fn)
+
+
+def segment_sum(values: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
+    """Alias of :func:`scatter_add_rows` with segment terminology."""
+    return scatter_add_rows(values, segments, num_segments)
+
+
+def segment_softmax(logits: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax over groups of entries that share a segment id.
+
+    Used for attention coefficients: ``logits`` holds one score per edge and
+    ``segments`` the node each edge's score is normalised over (targets for
+    GAT, sources for GRAT).  Empty segments contribute nothing.
+
+    Args:
+        logits: 1-D tensor of per-edge scores.
+        segments: 1-D int array, same length, segment id per score.
+        num_segments: total number of segments.
+    """
+    source = Tensor._lift(logits)
+    if source.ndim != 1:
+        raise ShapeError(f"segment_softmax expects 1-D logits, got shape {source.shape}")
+    idx = np.asarray(segments, dtype=np.int64)
+
+    # Constant (non-differentiable) per-segment max for numerical stability.
+    seg_max = np.full(num_segments, -np.inf)
+    np.maximum.at(seg_max, idx, source.data)
+    seg_max[~np.isfinite(seg_max)] = 0.0  # empty segments
+
+    shifted = source - Tensor(seg_max[idx])
+    exp = shifted.exp()
+    denominator = scatter_add_rows(exp, idx, num_segments)
+    return exp / denominator.gather_rows(idx)
+
+
+def softmax(tensor: Tensor, axis: int = -1) -> Tensor:
+    """Standard softmax along ``axis`` (stabilised by a constant shift)."""
+    source = Tensor._lift(tensor)
+    shift = np.max(source.data, axis=axis, keepdims=True)
+    exp = (source - Tensor(shift)).exp()
+    return exp / exp.sum(axis=axis if axis >= 0 else source.ndim + axis, keepdims=True)
+
+
+def sigmoid(tensor: Tensor) -> Tensor:
+    """Elementwise logistic function."""
+    return Tensor._lift(tensor).sigmoid()
+
+
+def relu(tensor: Tensor) -> Tensor:
+    """Elementwise rectifier."""
+    return Tensor._lift(tensor).relu()
+
+
+def leaky_relu(tensor: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """Elementwise leaky rectifier (GAT/GRAT attention default slope 0.2)."""
+    return Tensor._lift(tensor).leaky_relu(negative_slope)
+
+
+def clamp01(tensor: Tensor) -> Tensor:
+    """The paper's φ choice mapping aggregates into ``[0, 1]``: clip.
+
+    Gradient is identity strictly inside (0, 1) and zero outside, matching
+    the straight-clip activation used for Theorem 2's probability bound.
+    """
+    return Tensor._lift(tensor).clamp(0.0, 1.0)
+
+
+def one_minus_exp(tensor: Tensor) -> Tensor:
+    """Smooth alternative φ: ``1 - exp(-max(x, 0))`` maps ``[0, ∞) → [0, 1)``.
+
+    Unlike :func:`clamp01` it never saturates with exactly-zero gradient for
+    positive inputs; offered as the ablation alternative in DESIGN.md.
+    """
+    positive = Tensor._lift(tensor).relu()
+    return 1.0 - (-positive).exp()
+
+
+def log_sigmoid(tensor: Tensor) -> Tensor:
+    """Numerically stable ``log(sigmoid(x))`` used by some losses."""
+    source = Tensor._lift(tensor)
+    # log(sigmoid(x)) = -softplus(-x); build from primitives.
+    return -softplus(-source)
+
+
+def softplus(tensor: Tensor) -> Tensor:
+    """``log(1 + exp(x))`` via the stable shifted decomposition.
+
+    ``softplus(x) = m + log(exp(-m) + exp(x - m))`` with the constant shift
+    ``m = max(x, 0)``; both exponents are ≤ 0 so nothing overflows, and the
+    gradient reduces to ``sigmoid(x)`` exactly.
+    """
+    source = Tensor._lift(tensor)
+    shift = np.maximum(source.data, 0.0)  # treated as a constant
+    shifted_exp = (source - Tensor(shift)).exp()
+    return Tensor(shift) + (Tensor(np.exp(-shift)) + shifted_exp).log()
+
+
+__all__.append("softplus")

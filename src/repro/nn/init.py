@@ -1,0 +1,40 @@
+"""Weight initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AutogradError
+from repro.utils.rng import ensure_rng
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], *, gain: float = 1.0, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for 2-D weight matrices."""
+    if len(shape) < 2:
+        raise AutogradError(f"xavier_uniform requires >= 2 dimensions, got shape {shape}")
+    fan_in, fan_out = shape[0], shape[1]
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return ensure_rng(rng).uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], *, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """He/Kaiming uniform initialisation (ReLU gain)."""
+    if len(shape) < 1:
+        raise AutogradError("kaiming_uniform requires at least 1 dimension")
+    fan_in = shape[0]
+    limit = np.sqrt(6.0 / fan_in)
+    return ensure_rng(rng).uniform(-limit, limit, size=shape)
+
+
+def zeros_(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones_(shape: tuple[int, ...]) -> np.ndarray:
+    """All-one initialisation."""
+    return np.ones(shape, dtype=np.float64)

@@ -1,0 +1,110 @@
+"""First-order optimisers over :class:`~repro.nn.module.Parameter` lists.
+
+The paper updates with plain SGD (Algorithm 2, line 9); Adam is provided for
+the non-private library use case and for the baselines' reference training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimiser: holds parameters, applies steps from their grads."""
+
+    def __init__(self, parameters: list[Parameter], learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise TrainingError(f"learning_rate must be positive, got {learning_rate}")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise TrainingError("optimizer needs at least one parameter")
+        self.learning_rate = float(learning_rate)
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        learning_rate: float,
+        *,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise TrainingError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one update; parameters with ``grad is None`` are skipped."""
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += gradient
+                gradient = velocity
+            parameter.data -= self.learning_rate * gradient
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        learning_rate: float = 1e-3,
+        *,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise TrainingError(f"betas must be in [0, 1), got {betas}")
+        self.betas = (float(beta1), float(beta2))
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one bias-corrected Adam update."""
+        self._step_count += 1
+        beta1, beta2 = self.betas
+        correction1 = 1.0 - beta1**self._step_count
+        correction2 = 1.0 - beta2**self._step_count
+        for parameter, first, second in zip(
+            self.parameters, self._first_moment, self._second_moment
+        ):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            first *= beta1
+            first += (1.0 - beta1) * gradient
+            second *= beta2
+            second += (1.0 - beta2) * gradient**2
+            step_size = self.learning_rate / correction1
+            parameter.data -= step_size * first / (np.sqrt(second / correction2) + self.eps)

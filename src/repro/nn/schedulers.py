@@ -1,0 +1,97 @@
+"""Learning-rate schedules.
+
+Algorithm 2 writes the step size as η_t — an iteration-indexed schedule.
+These schedulers wrap an optimiser and update its ``learning_rate`` each
+iteration; under DP the schedule is public (it depends only on ``t``), so
+scheduling consumes no privacy budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base scheduler: call :meth:`step` once per training iteration."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_learning_rate = float(optimizer.learning_rate)
+        self.iteration = 0
+
+    def factor(self, iteration: int) -> float:
+        """Multiplier applied to the base learning rate at ``iteration``."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one iteration; returns the new learning rate."""
+        self.iteration += 1
+        new_rate = self.base_learning_rate * self.factor(self.iteration)
+        if new_rate <= 0:
+            raise TrainingError(f"schedule produced non-positive rate {new_rate}")
+        self.optimizer.learning_rate = new_rate
+        return new_rate
+
+
+class ConstantLR(LRScheduler):
+    """No decay (Algorithm 2's default)."""
+
+    def factor(self, iteration: int) -> float:
+        return 1.0
+
+
+class StepDecayLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every ``period`` iterations."""
+
+    def __init__(self, optimizer: Optimizer, *, period: int, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if period < 1:
+            raise TrainingError(f"period must be >= 1, got {period}")
+        if not 0.0 < gamma <= 1.0:
+            raise TrainingError(f"gamma must be in (0, 1], got {gamma}")
+        self.period = int(period)
+        self.gamma = float(gamma)
+
+    def factor(self, iteration: int) -> float:
+        return self.gamma ** (iteration // self.period)
+
+
+class CosineLR(LRScheduler):
+    """Cosine annealing from the base rate to ``floor`` over ``total`` steps."""
+
+    def __init__(self, optimizer: Optimizer, *, total: int, floor: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if total < 1:
+            raise TrainingError(f"total must be >= 1, got {total}")
+        if floor < 0:
+            raise TrainingError(f"floor must be >= 0, got {floor}")
+        self.total = int(total)
+        self.floor_factor = float(floor) / self.base_learning_rate if floor else 0.0
+
+    def factor(self, iteration: int) -> float:
+        progress = min(iteration / self.total, 1.0)
+        cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
+        return max(self.floor_factor + (1.0 - self.floor_factor) * cosine, 1e-12)
+
+
+def build_scheduler(
+    optimizer: Optimizer,
+    name: str = "constant",
+    *,
+    total: int = 100,
+    period: int = 20,
+    gamma: float = 0.5,
+    floor: float = 0.0,
+) -> LRScheduler:
+    """Factory: ``constant``, ``step``, or ``cosine``."""
+    key = name.lower()
+    if key == "constant":
+        return ConstantLR(optimizer)
+    if key == "step":
+        return StepDecayLR(optimizer, period=period, gamma=gamma)
+    if key == "cosine":
+        return CosineLR(optimizer, total=total, floor=floor)
+    raise TrainingError(f"unknown scheduler {name!r}; choose constant, step, or cosine")

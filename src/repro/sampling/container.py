@@ -1,0 +1,118 @@
+"""Subgraphs and the subgraph container ``G_sub``.
+
+A :class:`Subgraph` is an induced graph with the mapping back to original
+node ids; the :class:`SubgraphContainer` is the pool Algorithm 2 draws its
+mini-batches from.  The container can also *audit itself*: it counts how
+often each original node occurs across subgraphs, which is exactly the
+quantity the sensitivity bounds (Lemmas 1–2) cap — the test suite asserts
+the theoretical bounds empirically on every sampler.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.graphs.graph import Graph
+from repro.utils.rng import ensure_rng
+
+
+class Subgraph:
+    """An induced subgraph plus its mapping to original node ids.
+
+    Attributes:
+        graph: the induced :class:`Graph` with local ids ``0..n-1``.
+        node_map: ``node_map[i]`` is the original id of local node ``i``.
+    """
+
+    __slots__ = ("graph", "node_map")
+
+    def __init__(self, graph: Graph, node_map: np.ndarray) -> None:
+        node_map = np.asarray(node_map, dtype=np.int64)
+        if len(node_map) != graph.num_nodes:
+            raise SamplingError(
+                f"node_map length {len(node_map)} != subgraph nodes {graph.num_nodes}"
+            )
+        self.graph = graph
+        self.node_map = node_map
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    def __repr__(self) -> str:
+        return f"Subgraph(num_nodes={self.num_nodes}, num_arcs={self.graph.num_edges})"
+
+
+class SubgraphContainer:
+    """The pool ``G_sub`` of training subgraphs (paper's Module 1 output)."""
+
+    def __init__(self, subgraphs: Sequence[Subgraph] = ()) -> None:
+        self._subgraphs: list[Subgraph] = list(subgraphs)
+
+    def add(self, subgraph: Subgraph) -> None:
+        """Append one subgraph to the pool."""
+        self._subgraphs.append(subgraph)
+
+    def extend(self, other: "SubgraphContainer") -> None:
+        """Append every subgraph of ``other`` (Algorithm 3, line 7)."""
+        self._subgraphs.extend(other._subgraphs)
+
+    def __len__(self) -> int:
+        return len(self._subgraphs)
+
+    def __iter__(self) -> Iterator[Subgraph]:
+        return iter(self._subgraphs)
+
+    def __getitem__(self, index: int) -> Subgraph:
+        return self._subgraphs[index]
+
+    def sample_batch(
+        self, batch_size: int, rng: int | np.random.Generator | None = None
+    ) -> list[Subgraph]:
+        """Uniformly sample ``batch_size`` subgraphs without replacement.
+
+        This is Algorithm 2, line 3.  Raises if the pool is smaller than the
+        batch, which would silently break the privacy accounting otherwise.
+        """
+        if batch_size < 1:
+            raise SamplingError(f"batch_size must be >= 1, got {batch_size}")
+        if batch_size > len(self._subgraphs):
+            raise SamplingError(
+                f"batch_size {batch_size} exceeds container size {len(self._subgraphs)}"
+            )
+        generator = ensure_rng(rng)
+        picks = generator.choice(len(self._subgraphs), size=batch_size, replace=False)
+        return [self._subgraphs[int(i)] for i in picks]
+
+    # ------------------------------------------------------------------ #
+    # Sensitivity auditing
+    # ------------------------------------------------------------------ #
+    def occurrence_counts(self, num_original_nodes: int) -> np.ndarray:
+        """How many subgraphs each original node appears in.
+
+        The maximum of this vector is the *empirical* ``N_g`` the privacy
+        analysis bounds; tests assert ``occurrence_counts().max() <= N_g``.
+        """
+        counts = np.zeros(num_original_nodes, dtype=np.int64)
+        for subgraph in self._subgraphs:
+            counts[subgraph.node_map] += 1
+        return counts
+
+    def max_occurrence(self, num_original_nodes: int) -> int:
+        """Maximum per-node occurrence across the pool (0 when empty)."""
+        if not self._subgraphs:
+            return 0
+        return int(self.occurrence_counts(num_original_nodes).max())
+
+    def coverage(self, num_original_nodes: int) -> float:
+        """Fraction of original nodes appearing in at least one subgraph."""
+        if num_original_nodes == 0:
+            return 0.0
+        counts = self.occurrence_counts(num_original_nodes)
+        return float((counts > 0).mean())
+
+    def __repr__(self) -> str:
+        return f"SubgraphContainer(num_subgraphs={len(self._subgraphs)})"

@@ -1,0 +1,192 @@
+"""Algorithm 3 — the dual-stage adaptive frequency sampling scheme (PrivIM*).
+
+Stage 1, **Sensitivity-Constrained Sampling (SCS)**: frequency-weighted RWR
+over the *original* graph (no θ-projection), with Eq. 9 probabilities and
+the global cap ``M``, giving occurrence bound ``N_g* = M``.
+
+Stage 2, **Boundary-Enhanced Sampling (BES)**: nodes that hit the cap are
+removed; the frequency sampler runs again on the residual graph with a
+smaller subgraph size ``n / s``, harvesting boundary clusters that are too
+small to fill full-size subgraphs.  Because the same frequency vector keeps
+counting, the cap — and hence the privacy budget — is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.graphs.graph import Graph
+from repro.sampling.container import Subgraph, SubgraphContainer
+from repro.sampling.frequency import FrequencyVector, frequency_walk
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class DualStageSamplingConfig:
+    """Parameters of Algorithm 3 (paper defaults from Section V-A).
+
+    Attributes:
+        subgraph_size: ``n``, stage-1 subgraph size.
+        threshold: ``M``, the global frequency cap.
+        decay: μ, Eq. 9's decay factor.
+        sampling_rate: ``q``, start-node selection probability.
+        walk_length: ``L``, per-walk step budget (paper: 200).
+        restart_probability: τ (paper: 0.3).
+        boundary_divisor: ``s`` — stage 2 uses subgraphs of size ``n / s``.
+        include_boundary: run stage 2 (disable to get "PrivIM+SCS").
+        direction: walk traversal direction.
+    """
+
+    subgraph_size: int = 40
+    threshold: int = 4
+    decay: float = 1.0
+    sampling_rate: float = 0.1
+    walk_length: int = 200
+    restart_probability: float = 0.3
+    boundary_divisor: int = 2
+    include_boundary: bool = True
+    direction: str = "both"
+
+    def validate(self) -> None:
+        """Raise :class:`SamplingError` on out-of-range parameters."""
+        if self.subgraph_size < 1:
+            raise SamplingError(f"subgraph_size must be >= 1, got {self.subgraph_size}")
+        if self.threshold < 1:
+            raise SamplingError(f"threshold M must be >= 1, got {self.threshold}")
+        if self.decay < 0:
+            raise SamplingError(f"decay mu must be >= 0, got {self.decay}")
+        if not 0.0 < self.sampling_rate <= 1.0:
+            raise SamplingError(f"sampling_rate must be in (0, 1], got {self.sampling_rate}")
+        if self.walk_length < 1:
+            raise SamplingError(f"walk_length must be >= 1, got {self.walk_length}")
+        if not 0.0 <= self.restart_probability < 1.0:
+            raise SamplingError("restart_probability must be in [0, 1)")
+        if self.boundary_divisor < 1:
+            raise SamplingError(
+                f"boundary_divisor s must be >= 1, got {self.boundary_divisor}"
+            )
+
+    @property
+    def boundary_subgraph_size(self) -> int:
+        """Stage-2 subgraph size ``max(n // s, 2)``."""
+        return max(self.subgraph_size // self.boundary_divisor, 2)
+
+
+@dataclass
+class DualStageResult:
+    """Output of :func:`extract_subgraphs_dual_stage`.
+
+    Attributes:
+        container: combined pool ``G_sub`` (stage 1 + stage 2).
+        frequency: final frequency vector (indexed by original node id).
+        stage1_count: subgraphs from SCS.
+        stage2_count: subgraphs from BES.
+    """
+
+    container: SubgraphContainer
+    frequency: FrequencyVector
+    stage1_count: int
+    stage2_count: int
+
+
+def _frequency_sampling_pass(
+    graph: Graph,
+    frequency: FrequencyVector,
+    node_ids: np.ndarray,
+    subgraph_size: int,
+    config: DualStageSamplingConfig,
+    generator: np.random.Generator,
+    source_graph: Graph,
+) -> SubgraphContainer:
+    """One ``FreqSampling`` pass (Algorithm 3, lines 9–28).
+
+    ``graph`` is the graph walked on (original or residual) with *local*
+    ids; ``node_ids[i]`` maps local node ``i`` back to the original id the
+    frequency vector uses.  ``source_graph`` provides the edges for the
+    emitted subgraphs (identical to ``graph`` in stage 1).
+    """
+    container = SubgraphContainer()
+    local_frequency = FrequencyVector(graph.num_nodes, frequency.threshold)
+    local_frequency.counts = frequency.counts[node_ids].copy()
+
+    for local_node in range(graph.num_nodes):
+        if generator.random() >= config.sampling_rate:
+            continue
+        if local_frequency.is_saturated(local_node):
+            continue
+        nodes = frequency_walk(
+            graph,
+            local_frequency,
+            local_node,
+            subgraph_size,
+            walk_length=config.walk_length,
+            restart_probability=config.restart_probability,
+            decay=config.decay,
+            rng=generator,
+            direction=config.direction,
+        )
+        if nodes is None:
+            continue
+        local_nodes = np.asarray(nodes, dtype=np.int64)
+        original_nodes = node_ids[local_nodes]
+        subgraph, _ = source_graph.subgraph(original_nodes)
+        container.add(Subgraph(subgraph, original_nodes))
+        local_frequency.record_subgraph(local_nodes)
+        frequency.record_subgraph(original_nodes)
+    return container
+
+
+def extract_subgraphs_dual_stage(
+    graph: Graph,
+    config: DualStageSamplingConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> DualStageResult:
+    """Run Algorithm 3 (SCS, then optionally BES) on ``graph``.
+
+    Returns a :class:`DualStageResult`; the occurrence of every node across
+    ``result.container`` is guaranteed ≤ ``config.threshold`` (this is the
+    invariant the privacy analysis needs, and the frequency vector enforces
+    it with hard errors rather than clipping).
+    """
+    config = config or DualStageSamplingConfig()
+    config.validate()
+    generator = ensure_rng(rng)
+
+    frequency = FrequencyVector(graph.num_nodes, config.threshold)
+    all_nodes = np.arange(graph.num_nodes, dtype=np.int64)
+
+    # Stage 1 — Sensitivity-Constrained Sampling on the original graph.
+    stage1 = _frequency_sampling_pass(
+        graph, frequency, all_nodes, config.subgraph_size, config, generator, graph
+    )
+
+    container = SubgraphContainer()
+    container.extend(stage1)
+    stage2_count = 0
+
+    if config.include_boundary:
+        # Stage 2 — Boundary-Enhanced Sampling on the residual graph.
+        remaining = frequency.available_nodes()
+        if len(remaining) >= config.boundary_subgraph_size:
+            residual, node_ids = graph.subgraph(remaining)
+            stage2 = _frequency_sampling_pass(
+                residual,
+                frequency,
+                node_ids,
+                config.boundary_subgraph_size,
+                config,
+                generator,
+                graph,
+            )
+            stage2_count = len(stage2)
+            container.extend(stage2)
+
+    return DualStageResult(
+        container=container,
+        frequency=frequency,
+        stage1_count=len(stage1),
+        stage2_count=stage2_count,
+    )

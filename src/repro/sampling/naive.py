@@ -1,0 +1,110 @@
+"""Algorithm 1 — naive subgraph extraction on the θ-bounded graph.
+
+Pipeline (Section III-B): project ``G`` to in-degree ≤ θ, then for every
+node selected with sampling rate ``q`` run an RWR confined to the node's
+r-hop ball, emitting a subgraph whenever ``n`` unique nodes are collected
+within ``L`` steps.  Lemma 1 bounds any node's occurrences across the
+output by ``N_g = Σ_{i=0..r} θ^i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.graphs.degree import project_in_degree
+from repro.graphs.graph import Graph
+from repro.graphs.neighborhoods import k_hop_nodes
+from repro.sampling.container import Subgraph, SubgraphContainer
+from repro.sampling.random_walk import random_walk_nodes
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class NaiveSamplingConfig:
+    """Parameters of Algorithm 1 (paper defaults from Section V-A).
+
+    Attributes:
+        theta: maximum in-degree θ of the projected graph (paper: 10).
+        subgraph_size: nodes per subgraph ``n``.
+        hops: r — walks stay inside the start node's r-hop ball; should
+            equal the GNN depth.
+        sampling_rate: start-node selection probability ``q``
+            (paper: 256 / |V_train|).
+        walk_length: step budget ``L`` (paper: 200).
+        restart_probability: RWR return probability τ (paper: 0.3).
+        direction: walk traversal direction.  The default ``"out"`` is what
+            Lemma 1's proof needs: a walk confined to the start node's
+            out-direction r-hop ball can only capture node ``v`` when the
+            start is one of ``v``'s ≤ Σθ^i ancestors in the θ-in-bounded
+            graph.  ``"both"`` explores more structure but voids the
+            occurrence bound (ancestor counts through out-edges are
+            unbounded) — use it only with the dual-stage sampler, whose
+            frequency cap enforces the bound directly.
+    """
+
+    theta: int = 10
+    subgraph_size: int = 40
+    hops: int = 3
+    sampling_rate: float = 0.1
+    walk_length: int = 200
+    restart_probability: float = 0.3
+    direction: str = "out"
+
+    def validate(self) -> None:
+        """Raise :class:`SamplingError` on out-of-range parameters."""
+        if self.theta < 1:
+            raise SamplingError(f"theta must be >= 1, got {self.theta}")
+        if self.subgraph_size < 1:
+            raise SamplingError(f"subgraph_size must be >= 1, got {self.subgraph_size}")
+        if self.hops < 1:
+            raise SamplingError(f"hops must be >= 1, got {self.hops}")
+        if not 0.0 < self.sampling_rate <= 1.0:
+            raise SamplingError(f"sampling_rate must be in (0, 1], got {self.sampling_rate}")
+        if self.walk_length < 1:
+            raise SamplingError(f"walk_length must be >= 1, got {self.walk_length}")
+        if not 0.0 <= self.restart_probability < 1.0:
+            raise SamplingError("restart_probability must be in [0, 1)")
+
+
+def extract_subgraphs_naive(
+    graph: Graph,
+    config: NaiveSamplingConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[SubgraphContainer, Graph]:
+    """Run Algorithm 1 and return ``(container, projected_graph)``.
+
+    The projected graph is returned as well because training must present
+    the same θ-bounded topology to the GNN that the sensitivity analysis
+    assumed.
+    """
+    config = config or NaiveSamplingConfig()
+    config.validate()
+    generator = ensure_rng(rng)
+
+    projected = project_in_degree(graph, config.theta, generator)
+    container = SubgraphContainer()
+
+    for node in range(projected.num_nodes):
+        if generator.random() >= config.sampling_rate:
+            continue
+        ball = k_hop_nodes(projected, node, config.hops, direction=config.direction)
+        if len(ball) < config.subgraph_size:
+            continue  # the r-hop ball cannot yield n unique nodes
+        nodes = random_walk_nodes(
+            projected,
+            node,
+            config.subgraph_size,
+            walk_length=config.walk_length,
+            restart_probability=config.restart_probability,
+            rng=generator,
+            allowed=ball,
+            direction=config.direction,
+        )
+        if nodes is None:
+            continue
+        subgraph, node_map = projected.subgraph(nodes)
+        container.add(Subgraph(subgraph, node_map))
+    return container, projected

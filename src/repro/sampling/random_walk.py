@@ -1,0 +1,118 @@
+"""Random walk with restart (RWR), the engine of both sampling schemes.
+
+Algorithm 1 and Algorithm 3's ``FreqSampling`` share the same walk skeleton
+— start at ``v0``, at each step restart to ``v0`` with probability τ,
+otherwise move to a neighbour, collect unique visited nodes, succeed when
+``n`` distinct nodes are gathered within ``L`` steps — and differ only in
+how the next neighbour is chosen.  :func:`random_walk_nodes` factors the
+skeleton out and takes the neighbour chooser as a callable.
+
+On direction: the paper's graphs are directed.  Message passing aggregates
+over *in*-neighbours while diffusion spreads over *out*-neighbours, and the
+walk must discover both kinds of structure, so by default it treats arcs as
+traversable in both directions (``direction="both"``); the strictly
+out-directed walk is available for ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.graphs.graph import Graph
+from repro.utils.rng import ensure_rng
+
+NeighborChooser = Callable[[int, np.ndarray, np.random.Generator], int | None]
+
+
+def walk_neighbors(graph: Graph, node: int, direction: str) -> np.ndarray:
+    """Neighbours reachable in one walk step from ``node``."""
+    if direction == "out":
+        return graph.out_neighbors(node)
+    if direction == "in":
+        return graph.in_neighbors(node)
+    if direction == "both":
+        merged = np.concatenate([graph.out_neighbors(node), graph.in_neighbors(node)])
+        return np.unique(merged)
+    raise SamplingError(f"direction must be 'out', 'in', or 'both', got {direction!r}")
+
+
+def uniform_chooser(
+    _current: int, candidates: np.ndarray, generator: np.random.Generator
+) -> int | None:
+    """Algorithm 1's neighbour rule: uniform over the candidate set."""
+    if len(candidates) == 0:
+        return None
+    return int(candidates[int(generator.integers(0, len(candidates)))])
+
+
+def random_walk_nodes(
+    graph: Graph,
+    start: int,
+    target_size: int,
+    *,
+    walk_length: int,
+    restart_probability: float,
+    rng: int | np.random.Generator | None = None,
+    allowed: set[int] | None = None,
+    chooser: NeighborChooser = uniform_chooser,
+    direction: str = "both",
+) -> list[int] | None:
+    """Collect ``target_size`` unique nodes by RWR, or ``None`` on failure.
+
+    Args:
+        graph: graph to walk on.
+        start: the start node ``v0``.
+        target_size: subgraph size ``n``.
+        walk_length: step budget ``L``.
+        restart_probability: τ, chance of teleporting back to ``v0``.
+        rng: seed or generator.
+        allowed: optional whitelist (Algorithm 1 passes the r-hop ball
+            ``N_r(v0)``); candidates outside it are filtered out.
+        chooser: picks the next node from the candidate neighbours; return
+            ``None`` to signal "stuck", which forces a restart to ``v0``.
+        direction: walk traversal direction (see module docstring).
+
+    Returns:
+        The visited node list (start first, insertion order) when
+        ``target_size`` nodes were gathered within ``walk_length`` steps,
+        otherwise ``None`` — Algorithm 1 only admits complete subgraphs.
+    """
+    if not 0 <= start < graph.num_nodes:
+        raise SamplingError(f"start node {start} out of range")
+    if target_size < 1:
+        raise SamplingError(f"target_size must be >= 1, got {target_size}")
+    if walk_length < 1:
+        raise SamplingError(f"walk_length must be >= 1, got {walk_length}")
+    if not 0.0 <= restart_probability < 1.0:
+        raise SamplingError(
+            f"restart_probability must be in [0, 1), got {restart_probability}"
+        )
+    generator = ensure_rng(rng)
+
+    visited: dict[int, None] = {start: None}  # ordered set
+    if target_size == 1:
+        return [start]
+    current = start
+    for _ in range(walk_length):
+        if generator.random() < restart_probability:
+            current = start
+        candidates = walk_neighbors(graph, current, direction)
+        if allowed is not None and len(candidates):
+            mask = np.fromiter(
+                (int(c) in allowed for c in candidates), dtype=bool, count=len(candidates)
+            )
+            candidates = candidates[mask]
+        next_node = chooser(current, candidates, generator)
+        if next_node is None:
+            # Dead end under the constraints: teleport home and try again.
+            current = start
+            continue
+        current = next_node
+        if next_node not in visited:
+            visited[next_node] = None
+            if len(visited) == target_size:
+                return list(visited)
+    return None

@@ -1,0 +1,24 @@
+"""Shared utilities: seeded randomness, validation, and text reporting."""
+
+from repro.utils.rng import RngMixin, ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+from repro.utils.tables import format_series, format_table
+
+__all__ = [
+    "RngMixin",
+    "ensure_rng",
+    "spawn_rngs",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+    "format_series",
+    "format_table",
+]

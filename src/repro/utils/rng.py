@@ -1,0 +1,49 @@
+"""Seeded random-number-generator helpers.
+
+Everything stochastic in this library (graph generation, random walks,
+DP noise, Monte-Carlo diffusion, weight initialisation) accepts either a
+``numpy.random.Generator`` or an integer seed.  :func:`ensure_rng` normalises
+both to a ``Generator`` so results are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_rng(rng: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``rng``.
+
+    Args:
+        rng: ``None`` (fresh nondeterministic generator), an integer seed,
+            or an existing generator (returned unchanged).
+
+    Returns:
+        A ``numpy.random.Generator``.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, int, or numpy Generator, got {type(rng)!r}")
+
+
+def spawn_rngs(rng: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Useful when a pipeline has several stochastic stages (sampling, noise,
+    evaluation) that must not share a stream, e.g. so changing the number of
+    training iterations does not perturb the evaluation randomness.
+    """
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+class RngMixin:
+    """Mixin that stores a normalised generator under ``self.rng``."""
+
+    def __init__(self, rng: int | np.random.Generator | None = None) -> None:
+        self.rng = ensure_rng(rng)

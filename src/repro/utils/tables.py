@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment tables and series.
+
+The experiment harness regenerates the paper's tables and figures as text:
+tables become aligned ASCII grids, figures become (x, y) series blocks —
+one block per plotted line — so the "shape" of each figure (orderings,
+trends, peaks) is inspectable from a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have the same number of cells as headers")
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[Any],
+    ys: Sequence[Any],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one plotted line of a figure as an ``x -> y`` block."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    lines = [f"series: {name}  ({x_label} -> {y_label})"]
+    lines.extend(f"  {_cell(x)} -> {_cell(y)}" for x, y in zip(xs, ys))
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Small argument-validation helpers used at public API boundaries.
+
+These raise ``ValueError``/``TypeError`` with consistent messages so the
+library fails fast on bad parameters instead of producing silently wrong
+privacy accounting or sampling behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> None:
+    """Raise ``TypeError`` if ``value`` is not an instance of ``expected``."""
+    if not isinstance(value, expected):
+        expected_names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " | ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(f"{name} must be {expected_names}, got {type(value).__name__}")
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in the given interval."""
+    low_ok = value >= low if low_inclusive else value > low
+    high_ok = value <= high if high_inclusive else value < high
+    if not (low_ok and high_ok):
+        left = "[" if low_inclusive else "("
+        right = "]" if high_inclusive else ")"
+        raise ValueError(f"{name} must be in {left}{low}, {high}{right}, got {value}")

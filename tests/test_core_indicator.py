@@ -1,0 +1,121 @@
+"""Tests for the Gamma-pdf parameter-selection indicator."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.indicator import (
+    DEFAULT_INDICATOR,
+    Indicator,
+    IndicatorParameters,
+    fit_indicator,
+    gamma_pdf,
+)
+from repro.errors import ExperimentError
+
+
+class TestGammaPdf:
+    def test_matches_scipy(self, rng):
+        xs = rng.uniform(0.1, 50.0, size=20)
+        for shape, scale in [(1.5, 25.0), (2.0, 5.0), (4.0, 10.0)]:
+            np.testing.assert_allclose(
+                gamma_pdf(xs, shape, scale),
+                stats.gamma.pdf(xs, a=shape, scale=scale),
+                rtol=1e-10,
+            )
+
+    def test_scalar_input_returns_float(self):
+        assert isinstance(gamma_pdf(3.0, 2.0, 5.0), float)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            gamma_pdf(1.0, 0.0, 5.0)
+        with pytest.raises(ExperimentError):
+            gamma_pdf(-1.0, 2.0, 5.0)
+
+
+class TestIndicator:
+    def test_shape_parameters_follow_eq12(self):
+        indicator = DEFAULT_INDICATOR
+        parameters = indicator.parameters
+        for num_nodes in (500, 5000, 100_000):
+            assert indicator.beta_n(num_nodes) == pytest.approx(
+                parameters.k_n * np.log(num_nodes) + parameters.b_n
+            )
+            assert indicator.beta_m(num_nodes) == pytest.approx(
+                parameters.k_m / np.log(num_nodes) + parameters.b_m
+            )
+
+    def test_larger_datasets_prefer_larger_n(self):
+        indicator = DEFAULT_INDICATOR
+        assert indicator.optimal_n(100_000) > indicator.optimal_n(1_000)
+
+    def test_larger_datasets_prefer_smaller_m(self):
+        indicator = DEFAULT_INDICATOR
+        assert indicator.optimal_m(100_000) < indicator.optimal_m(1_000)
+
+    def test_score_grid_normalised(self):
+        grid = DEFAULT_INDICATOR.score_grid([10, 20, 40, 80], [2, 4, 8], 10_000)
+        assert grid.shape == (4, 3)
+        assert grid.max() == pytest.approx(1.0)
+        assert np.all(grid >= 0)
+
+    def test_select_parameters_in_grid(self):
+        n, m = DEFAULT_INDICATOR.select_parameters(10_000)
+        assert n in (10, 20, 30, 40, 50, 60, 70, 80)
+        assert m in (2, 4, 6, 8, 10, 12)
+
+    def test_paper_peak_positions(self):
+        """The analytic peak is (beta - 1) * psi (Eq. 46)."""
+        indicator = Indicator(IndicatorParameters())
+        num_nodes = 7_600  # LastFM
+        peak_n = indicator.optimal_n(num_nodes)
+        beta = indicator.beta_n(num_nodes)
+        assert peak_n == pytest.approx((beta - 1) * 25.0)
+
+    def test_rise_then_fall_shape(self):
+        """The n-sweep of the indicator has a single interior peak."""
+        grid = np.array(
+            [DEFAULT_INDICATOR.raw_score(n, 4, 20_000) for n in range(5, 120, 5)]
+        )
+        peak = int(np.argmax(grid))
+        assert 0 < peak < len(grid) - 1
+        assert np.all(np.diff(grid[: peak + 1]) >= 0)
+        assert np.all(np.diff(grid[peak:]) <= 0)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            DEFAULT_INDICATOR.beta_n(1)
+        with pytest.raises(ExperimentError):
+            DEFAULT_INDICATOR.score_grid([], [2], 100)
+
+
+class TestFit:
+    def test_exact_recovery_from_consistent_pilots(self):
+        """Pilot optima generated from known (k, b) are recovered exactly."""
+        true = IndicatorParameters(k_n=0.5, b_n=-1.0, k_m=4.0, b_m=1.2)
+        sizes = [1_000, 10_000, 100_000]
+        pilots = []
+        for size in sizes:
+            beta_n = true.k_n * np.log(size) + true.b_n
+            beta_m = true.k_m / np.log(size) + true.b_m
+            pilots.append((size, (beta_n - 1) * true.psi_n, (beta_m - 1) * true.psi_m))
+        fitted = fit_indicator(pilots, psi_n=true.psi_n, psi_m=true.psi_m)
+        assert fitted.parameters.k_n == pytest.approx(true.k_n, abs=1e-9)
+        assert fitted.parameters.b_n == pytest.approx(true.b_n, abs=1e-9)
+        assert fitted.parameters.k_m == pytest.approx(true.k_m, abs=1e-9)
+        assert fitted.parameters.b_m == pytest.approx(true.b_m, abs=1e-9)
+
+    def test_fitted_indicator_peaks_at_pilot_optima(self):
+        pilots = [(1_000, 20.0, 8.0), (50_000, 50.0, 4.0)]
+        fitted = fit_indicator(pilots)
+        assert fitted.optimal_n(1_000) == pytest.approx(20.0, rel=0.01)
+        assert fitted.optimal_m(50_000) == pytest.approx(4.0, rel=0.01)
+
+    def test_needs_two_pilots(self):
+        with pytest.raises(ExperimentError):
+            fit_indicator([(1000, 20.0, 4.0)])
+
+    def test_needs_distinct_sizes(self):
+        with pytest.raises(ExperimentError):
+            fit_indicator([(1000, 20.0, 4.0), (1000, 30.0, 6.0)])

@@ -1,0 +1,145 @@
+"""Tests for the Eq. 5 probabilistic penalty loss."""
+
+import numpy as np
+import pytest
+
+from repro.core.loss import MaxCoverLoss, PenaltyLossConfig, probabilistic_penalty_loss
+from repro.errors import TrainingError
+from repro.nn.tensor import Tensor
+
+
+def loss_value(x, edge_index, edge_weight, num_nodes, **kwargs):
+    config = PenaltyLossConfig(**kwargs)
+    tensor = Tensor(np.asarray(x, dtype=float))
+    return float(
+        probabilistic_penalty_loss(tensor, edge_index, edge_weight, num_nodes, config).data
+    )
+
+
+class TestManualValues:
+    def test_one_step_manual(self):
+        """Path 0 -> 1 with x = (0.5, 0.0), j = 1, lambda = 0, no normalize.
+
+        p1(0) = 0 (no in-edges), p1(1) = clamp(0.5) = 0.5.
+        Loss = (1 - 0) + (1 - 0.5) = 1.5.
+        """
+        edge_index = np.array([[0], [1]])
+        value = loss_value(
+            [0.5, 0.0], edge_index, np.ones(1), 2, penalty=0.0, normalize=False
+        )
+        assert value == pytest.approx(1.5)
+
+    def test_penalty_term(self):
+        edge_index = np.array([[0], [1]])
+        base = loss_value([0.5, 0.2], edge_index, np.ones(1), 2, penalty=0.0,
+                          normalize=False)
+        with_penalty = loss_value([0.5, 0.2], edge_index, np.ones(1), 2, penalty=2.0,
+                                  normalize=False)
+        assert with_penalty == pytest.approx(base + 2.0 * 0.7)
+
+    def test_edge_weights_scale_probability(self):
+        edge_index = np.array([[0], [1]])
+        value = loss_value(
+            [1.0, 0.0], edge_index, np.array([0.25]), 2, penalty=0.0, normalize=False
+        )
+        # p1(1) = 0.25 -> survival 0.75; node 0 uncovered -> 1.0.
+        assert value == pytest.approx(1.75)
+
+    def test_clamp_saturates_at_one(self):
+        # Two in-edges with x = 1 each: aggregate 2.0 clamps to 1.0.
+        edge_index = np.array([[0, 1], [2, 2]])
+        value = loss_value(
+            [1.0, 1.0, 0.0], edge_index, np.ones(2), 3, penalty=0.0, normalize=False
+        )
+        assert value == pytest.approx(2.0)  # nodes 0 and 1 uncovered only
+
+    def test_two_step_diffusion(self):
+        """Path 0 -> 1 -> 2 with x = (1, 0, 0) and j = 2.
+
+        Step 1: p(1) = 1; survival(1) = 0.  Step 2 input is step-1
+        probabilities (1 only at node 1): p(2) = 1; survival(2) = 0.
+        Node 0 never covered -> total 1.0.
+        """
+        edge_index = np.array([[0, 1], [1, 2]])
+        value = loss_value(
+            [1.0, 0.0, 0.0],
+            edge_index,
+            np.ones(2),
+            3,
+            diffusion_steps=2,
+            penalty=0.0,
+            normalize=False,
+        )
+        assert value == pytest.approx(1.0)
+
+    def test_normalize_divides_by_nodes(self):
+        edge_index = np.array([[0], [1]])
+        raw = loss_value([0.5, 0.0], edge_index, np.ones(1), 2, penalty=0.0,
+                         normalize=False)
+        normalised = loss_value([0.5, 0.0], edge_index, np.ones(1), 2, penalty=0.0,
+                                normalize=True)
+        assert normalised == pytest.approx(raw / 2)
+
+
+class TestGradients:
+    def test_gradient_favours_influencers(self):
+        """Raising a high-out-degree node's seed probability lowers term 1."""
+        # Star: node 0 -> nodes 1..4.
+        edge_index = np.array([[0, 0, 0, 0], [1, 2, 3, 4]])
+        x = Tensor(np.full(5, 0.3), requires_grad=True)
+        loss = probabilistic_penalty_loss(
+            x, edge_index, np.ones(4), 5, PenaltyLossConfig(penalty=0.0)
+        )
+        loss.backward()
+        # d loss / d x_0 must be the most negative component.
+        assert np.argmin(x.grad) == 0
+
+    def test_penalty_pushes_down_everywhere(self):
+        edge_index = np.empty((2, 0), dtype=int)
+        x = Tensor(np.full(3, 0.5), requires_grad=True)
+        loss = probabilistic_penalty_loss(
+            x, edge_index, None, 3, PenaltyLossConfig(penalty=1.0)
+        )
+        loss.backward()
+        assert np.all(x.grad > 0)  # only the penalty term acts
+
+    def test_phi_one_minus_exp_keeps_gradient_when_saturated(self):
+        """The smooth phi still has gradient where clamp is flat."""
+        edge_index = np.array([[0, 1], [2, 2]])
+        for phi, expect_zero in (("clamp", True), ("one_minus_exp", False)):
+            x = Tensor(np.array([1.0, 1.0, 0.0]), requires_grad=True)
+            loss = probabilistic_penalty_loss(
+                x, edge_index, np.ones(2), 3, PenaltyLossConfig(penalty=0.0, phi=phi)
+            )
+            loss.backward()
+            is_zero = abs(x.grad[0]) < 1e-12
+            assert is_zero == expect_zero
+
+
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(TrainingError):
+            PenaltyLossConfig(diffusion_steps=0).validate()
+        with pytest.raises(TrainingError):
+            PenaltyLossConfig(penalty=-1.0).validate()
+        with pytest.raises(TrainingError):
+            PenaltyLossConfig(phi="sigmoid").validate()
+
+    def test_shape_validation(self):
+        with pytest.raises(TrainingError):
+            probabilistic_penalty_loss(
+                Tensor(np.ones(3)), np.empty((2, 0), dtype=int), None, 4
+            )
+
+    def test_max_cover_loss_is_one_step(self):
+        edge_index = np.array([[0], [1]])
+        loss = MaxCoverLoss(penalty=0.0)
+        value = loss(Tensor(np.array([0.5, 0.0])), edge_index, np.ones(1), 2)
+        reference = probabilistic_penalty_loss(
+            Tensor(np.array([0.5, 0.0])),
+            edge_index,
+            np.ones(1),
+            2,
+            PenaltyLossConfig(penalty=0.0),
+        )
+        assert float(value.data) == pytest.approx(float(reference.data))

@@ -1,0 +1,124 @@
+"""Tests for the dataset registry and synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import (
+    DATASETS,
+    PRIMARY_DATASETS,
+    dataset_names,
+    dataset_statistics,
+    load_dataset,
+)
+from repro.datasets.synthetic import community_directed_graph, scale_free_directed_graph
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_table1_rows_present(self):
+        assert set(PRIMARY_DATASETS) == {
+            "email",
+            "bitcoin",
+            "lastfm",
+            "hepph",
+            "facebook",
+            "gowalla",
+        }
+        assert "friendster" in DATASETS
+
+    def test_table1_statistics_match_paper(self):
+        email = dataset_statistics("email")
+        assert email.num_nodes == 1_000
+        assert email.directed
+        assert email.avg_degree == pytest.approx(25.44)
+        gowalla = dataset_statistics("gowalla")
+        assert gowalla.num_nodes == 196_000
+        assert not gowalla.directed
+
+    def test_dataset_names_order(self):
+        assert dataset_names() == PRIMARY_DATASETS
+        assert dataset_names(include_friendster=True)[-1] == "friendster"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            dataset_statistics("orkut")
+        with pytest.raises(DatasetError):
+            load_dataset("orkut")
+
+    def test_case_insensitive(self):
+        assert dataset_statistics("LastFM").name == "lastfm"
+
+
+class TestLoadDataset:
+    def test_scaling(self):
+        graph = load_dataset("lastfm", scale=0.05)
+        assert graph.num_nodes == round(7600 * 0.05)
+
+    def test_max_nodes_cap(self):
+        graph = load_dataset("gowalla", scale=1.0, max_nodes=500)
+        assert graph.num_nodes == 500
+
+    def test_minimum_size_floor(self):
+        graph = load_dataset("email", scale=1e-9)
+        assert graph.num_nodes >= 20
+
+    def test_deterministic_by_default(self):
+        first = load_dataset("bitcoin", scale=0.05)
+        second = load_dataset("bitcoin", scale=0.05)
+        assert first == second
+
+    def test_different_seed_differs(self):
+        first = load_dataset("bitcoin", scale=0.05, rng=1)
+        second = load_dataset("bitcoin", scale=0.05, rng=2)
+        assert first != second
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("email", scale=0.0)
+
+    @pytest.mark.parametrize("name", PRIMARY_DATASETS)
+    def test_average_degree_roughly_matches(self, name):
+        spec = dataset_statistics(name)
+        graph = load_dataset(name, scale=0.1, max_nodes=2000)
+        if name == "email":
+            return  # density capped at small scale by design
+        assert graph.average_degree == pytest.approx(
+            spec.avg_degree if spec.directed else 2 * spec.avg_degree / 2, rel=0.5
+        )
+
+    def test_directedness_matches_spec(self):
+        assert load_dataset("bitcoin", scale=0.05).is_directed
+        assert not load_dataset("facebook", scale=0.02).is_directed
+
+    def test_node_ids_are_shuffled(self):
+        """Node id must not correlate strongly with degree (labels shuffled)."""
+        graph = load_dataset("lastfm", scale=0.2)
+        degrees = np.asarray(graph.out_degrees(), dtype=float)
+        ids = np.arange(graph.num_nodes, dtype=float)
+        correlation = np.corrcoef(ids, degrees)[0, 1]
+        assert abs(correlation) < 0.2
+
+
+class TestSyntheticGenerators:
+    def test_scale_free_heavy_tail(self):
+        graph = scale_free_directed_graph(500, 4, rng=0)
+        in_degrees = np.asarray(graph.in_degrees())
+        assert in_degrees.max() > 4 * in_degrees.mean()
+
+    def test_scale_free_validation(self):
+        with pytest.raises(DatasetError):
+            scale_free_directed_graph(1, 2)
+        with pytest.raises(DatasetError):
+            scale_free_directed_graph(10, 0)
+        with pytest.raises(DatasetError):
+            scale_free_directed_graph(10, 2, reciprocity=2.0)
+
+    def test_community_graph_density(self):
+        graph = community_directed_graph(200, 8, 10.0, rng=0)
+        assert graph.average_degree == pytest.approx(10.0, rel=0.15)
+
+    def test_community_graph_validation(self):
+        with pytest.raises(DatasetError):
+            community_directed_graph(5, 10, 2.0)
+        with pytest.raises(DatasetError):
+            community_directed_graph(50, 2, 100.0)

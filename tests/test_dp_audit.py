@@ -1,0 +1,112 @@
+"""Tests for the membership-inference audit harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PrivIMConfig, PrivIMStar
+from repro.dp.audit import (
+    audit_node_membership,
+    dp_advantage_bound,
+    threshold_attack_advantage,
+)
+from repro.errors import PrivacyError
+from repro.graphs.generators import powerlaw_cluster_graph
+
+
+class TestBound:
+    def test_zero_epsilon_zero_advantage(self):
+        assert dp_advantage_bound(0.0, 0.0) == pytest.approx(0.0)
+
+    def test_monotone_in_epsilon(self):
+        values = [dp_advantage_bound(eps, 1e-5) for eps in (0.5, 1.0, 2.0, 4.0)]
+        assert values == sorted(values)
+
+    def test_capped_at_one(self):
+        assert dp_advantage_bound(100.0, 0.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(PrivacyError):
+            dp_advantage_bound(-1.0, 0.0)
+        with pytest.raises(PrivacyError):
+            dp_advantage_bound(1.0, 1.0)
+
+
+class TestThresholdAttack:
+    def test_identical_distributions_no_advantage(self):
+        scores = np.array([0.1, 0.2, 0.3, 0.4])
+        assert threshold_attack_advantage(scores, scores) == pytest.approx(0.0)
+
+    def test_separable_distributions_full_advantage(self):
+        assert threshold_attack_advantage(
+            np.array([0.9, 0.8]), np.array([0.1, 0.2])
+        ) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        advantage = threshold_attack_advantage(
+            np.array([0.3, 0.6, 0.9]), np.array([0.1, 0.4, 0.7])
+        )
+        assert 0 < advantage < 1
+
+    def test_validation(self):
+        with pytest.raises(PrivacyError):
+            threshold_attack_advantage(np.array([]), np.array([0.1]))
+
+
+class TestAudit:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return powerlaw_cluster_graph(120, 3, 0.3, rng=17)
+
+    def make_train_fn(self, epsilon):
+        def train(graph, seed):
+            pipeline = PrivIMStar(
+                PrivIMConfig(
+                    epsilon=epsilon,
+                    subgraph_size=8,
+                    threshold=3,
+                    iterations=3,
+                    batch_size=4,
+                    sampling_rate=0.5,
+                    hidden_features=8,
+                    num_layers=2,
+                    rng=seed,
+                )
+            )
+            pipeline.fit(graph)
+            return pipeline
+
+        return train
+
+    def test_audit_runs_and_reports(self, graph):
+        result = audit_node_membership(
+            self.make_train_fn(4.0),
+            graph,
+            epsilon=4.0,
+            delta=1e-3,
+            repeats=3,
+            rng=0,
+        )
+        assert 0.0 <= result.attack_advantage <= 1.0
+        assert result.world1_scores.shape == (3,)
+        assert result.dp_advantage_bound == pytest.approx(dp_advantage_bound(4.0, 1e-3))
+
+    def test_target_defaults_to_top_degree(self, graph):
+        result = audit_node_membership(
+            self.make_train_fn(4.0), graph, epsilon=4.0, delta=1e-3, repeats=2, rng=0
+        )
+        assert result.target_node == int(np.argmax(graph.out_degrees()))
+
+    def test_validation(self, graph):
+        with pytest.raises(PrivacyError):
+            audit_node_membership(
+                self.make_train_fn(4.0), graph, epsilon=4.0, delta=1e-3, repeats=1
+            )
+        with pytest.raises(PrivacyError):
+            audit_node_membership(
+                self.make_train_fn(4.0),
+                graph,
+                epsilon=4.0,
+                delta=1e-3,
+                target_node=10_000,
+                repeats=2,
+            )

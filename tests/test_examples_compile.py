@@ -1,0 +1,29 @@
+"""Every example script must at least compile and define main()."""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles_and_has_main(path):
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    compile(tree, str(path), "exec")
+    function_names = {
+        node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in function_names
+    assert '__name__ == "__main__"' in source
+
+
+def test_expected_examples_present():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "viral_marketing.py", "outbreak_monitoring.py",
+            "parameter_selection.py", "privacy_accounting_tour.py",
+            "privacy_audit.py"} <= names

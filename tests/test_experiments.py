@@ -1,0 +1,267 @@
+"""Tests for the experiment harnesses (smoke profile)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import (
+    evaluate_method,
+    prepare_dataset,
+    repeat_evaluation,
+    split_graph,
+)
+from repro.experiments.methods import build_method, display_name, method_names
+from repro.experiments.profiles import PROFILES, get_profile
+from repro.experiments.reporting import ExperimentReport
+from repro.graphs.generators import powerlaw_cluster_graph
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {"smoke", "quick", "full"}
+        assert get_profile("smoke").name == "smoke"
+
+    def test_profile_passthrough(self):
+        profile = get_profile("quick")
+        assert get_profile(profile) is profile
+
+    def test_unknown_profile(self):
+        with pytest.raises(ExperimentError):
+            get_profile("mega")
+
+    def test_scales_increase(self):
+        assert (
+            get_profile("smoke").max_nodes
+            < get_profile("quick").max_nodes
+            < get_profile("full").max_nodes
+        )
+
+
+class TestMethods:
+    def test_method_names(self):
+        names = method_names()
+        assert "privim_star" in names and "egn" in names
+
+    @pytest.mark.parametrize("method", method_names())
+    def test_build_each_method(self, method):
+        profile = get_profile("smoke")
+        pipeline = build_method(method, 2.0, profile, rng=0)
+        assert hasattr(pipeline, "fit")
+        assert hasattr(pipeline, "select_seeds")
+
+    def test_display_names(self):
+        assert display_name("privim_star") == "PrivIM*"
+        assert display_name("hp_grat") == "HP-GRAT"
+        with pytest.raises(ExperimentError):
+            display_name("nope")
+
+    def test_unknown_method(self):
+        with pytest.raises(ExperimentError):
+            build_method("magic", 2.0, get_profile("smoke"), rng=0)
+
+    def test_overrides_reach_config(self):
+        profile = get_profile("smoke")
+        pipeline = build_method(
+            "privim_star", 2.0, profile, rng=0, subgraph_size=9, threshold=7
+        )
+        assert pipeline.config.subgraph_size == 9
+        assert pipeline.config.threshold == 7
+        gnn_override = build_method("privim_star", 2.0, profile, rng=0, model="gin")
+        assert gnn_override.config.model == "gin"
+
+
+class TestHarness:
+    def test_split_graph_partitions_nodes(self):
+        graph = powerlaw_cluster_graph(100, 3, 0.3, rng=0)
+        train, test = split_graph(graph, 0.5, rng=0)
+        assert train.num_nodes + test.num_nodes == 100
+        assert abs(train.num_nodes - 50) <= 1
+
+    def test_split_fraction_validated(self):
+        graph = powerlaw_cluster_graph(50, 2, 0.3, rng=0)
+        with pytest.raises(ExperimentError):
+            split_graph(graph, 0.0)
+
+    def test_prepare_dataset_cached(self):
+        first = prepare_dataset("lastfm", "smoke")
+        second = prepare_dataset("lastfm", "smoke")
+        assert first is second
+        assert first.celf_spread > 0
+        assert first.seed_count >= 1
+
+    def test_evaluate_method_smoke(self):
+        setting = prepare_dataset("lastfm", "smoke")
+        run = evaluate_method("privim_star", setting, 4.0, "smoke", seed=1)
+        assert run.spread > 0
+        assert 0 < run.ratio <= 110
+        assert run.num_subgraphs > 0
+
+    def test_repeat_evaluation_aggregates(self):
+        setting = prepare_dataset("lastfm", "smoke")
+        aggregate = repeat_evaluation(
+            "non_private", setting, None, "smoke", repeats=2
+        )
+        assert len(aggregate.runs) == 2
+        assert aggregate.display == "Non-Private"
+        assert aggregate.spread_mean > 0
+
+    def test_repeats_validated(self):
+        setting = prepare_dataset("lastfm", "smoke")
+        with pytest.raises(ExperimentError):
+            repeat_evaluation("non_private", setting, None, "smoke", repeats=0)
+
+
+class TestReports:
+    def test_render_contains_rows_and_series(self):
+        report = ExperimentReport(
+            experiment_id="Fig. X",
+            title="demo",
+            headers=["a", "b"],
+            rows=[[1, 2]],
+            series=[("line", [1], [2])],
+            notes=["caveat"],
+        )
+        text = report.render()
+        assert "Fig. X" in text
+        assert "caveat" in text
+        assert "line" in text
+
+    def test_series_dict(self):
+        report = ExperimentReport("id", "t", series=[("s", [1], [2])])
+        assert report.series_dict()["s"] == ([1], [2])
+
+
+class TestExperimentModules:
+    def test_table1(self):
+        from repro.experiments import table1
+
+        report = table1.run("smoke")
+        assert len(report.rows) == 7  # six datasets + friendster
+        assert "email" in report.render()
+
+    def test_fig5_single_panel(self):
+        from repro.experiments import fig5
+
+        report = fig5.run_dataset("lastfm", "smoke", methods=("privim_star", "non_private"))
+        assert len(report.rows) == 2
+        series = report.series_dict()
+        assert "lastfm/CELF" in series
+
+    def test_fig5_hepph_alias_is_fig14(self):
+        from repro.experiments import fig5
+
+        report = fig5.run_hepph("smoke")
+        assert report.experiment_id == "Fig. 14"
+
+    def test_table2(self):
+        from repro.experiments import table2
+
+        report = table2.run("smoke", datasets=("lastfm",))
+        assert len(report.rows) == 1 + 2 * 3  # non-private + 2 eps x 3 methods
+
+    def test_table3(self):
+        from repro.experiments import table3
+
+        report = table3.run("smoke", datasets=("lastfm",))
+        assert len(report.rows) == 8  # 4 methods x 2 phases
+
+    def test_param_studies(self):
+        from repro.experiments import param_study
+
+        report = param_study.run_threshold_study(
+            "lastfm", "smoke", n_values=(8,), m_values=(2, 4)
+        )
+        assert len(report.rows) == 1
+        size_report = param_study.run_subgraph_size_study(
+            "lastfm", "smoke", n_values=(6, 10)
+        )
+        assert len(size_report.rows) == 2
+        theta_report = param_study.run_theta_study(
+            "lastfm", "smoke", theta_values=(5, 10)
+        )
+        assert len(theta_report.rows) == 2
+
+    def test_indicator_experiment(self):
+        from repro.experiments import fig_indicator
+
+        report = fig_indicator.run_m_sweep("lastfm", "smoke", m_values=(2, 4))
+        series = report.series_dict()
+        assert "lastfm/indicator" in series
+        assert "lastfm/empirical" in series
+        xs, ys = series["lastfm/indicator"]
+        assert max(ys) == pytest.approx(1.0)
+
+    def test_fig9(self):
+        from repro.experiments import fig9
+
+        report = fig9.run(
+            "smoke", datasets=("lastfm",), epsilons=(2.0,), models=("grat", "gcn")
+        )
+        assert len(report.rows) == 2
+
+    def test_accountant_ablation(self):
+        from repro.experiments import ablations
+
+        report = ablations.run_accountant_ablation(sigma_values=(1.0, 2.0))
+        assert len(report.rows) == 2
+        # Theorem 3 should not be looser than the generic Poisson bound
+        # given it exploits the occurrence structure.
+        for _, eps_t3, eps_poisson in report.rows:
+            assert np.isfinite(eps_t3) and np.isfinite(eps_poisson)
+
+    def test_friendster_partitioned(self):
+        from repro.experiments import friendster
+
+        report = friendster.run("smoke", methods=("non_private",), num_partitions=3)
+        assert len(report.rows) == 1
+        assert "partition" in report.notes[0]
+
+
+class TestExtensionExperiments:
+    def test_diffusion_models_extension(self):
+        from repro.experiments import diffusion_models
+
+        report = diffusion_models.run(
+            "lastfm", "smoke", methods=("non_private",), num_simulations=5
+        )
+        assert len(report.rows) == 2  # method + random baseline
+        assert len(report.headers) == 4  # method + 3 diffusion columns
+
+    def test_runner_write_markdown(self, tmp_path):
+        from repro.experiments.reporting import ExperimentReport
+        from repro.experiments.runner import write_markdown
+
+        reports = [ExperimentReport("Table X", "demo", headers=["a"], rows=[[1]])]
+        path = tmp_path / "out.md"
+        write_markdown(reports, str(path))
+        content = path.read_text()
+        assert "Table X" in content and "```" in content
+
+    def test_weighted_ic_extension(self):
+        from repro.experiments import weighted_ic
+
+        report = weighted_ic.run(
+            "lastfm",
+            "smoke",
+            methods=("non_private",),
+            num_simulations=4,
+            num_rr_sets=100,
+        )
+        assert len(report.rows) == 3  # RIS + method + random
+        assert report.rows[0][2] == 100.0
+
+    def test_boundary_divisor_ablation_smoke(self):
+        from repro.experiments import ablations
+
+        report = ablations.run_boundary_divisor_ablation(
+            "lastfm", "smoke", divisors=(2, 4)
+        )
+        assert len(report.rows) == 2
+
+    def test_diffusion_steps_ablation_smoke(self):
+        from repro.experiments import ablations
+
+        report = ablations.run_diffusion_steps_ablation(
+            "lastfm", "smoke", steps_values=(1, 2)
+        )
+        assert len(report.rows) == 2

@@ -1,0 +1,241 @@
+"""Tests for the extension modules: RIS, input perturbation, checkpoints, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_model, save_model
+from repro.dp.input_perturbation import (
+    edge_flip_rate,
+    randomized_response_graph,
+    randomized_response_keep_probability,
+)
+from repro.errors import GraphError, PrivacyError, TrainingError
+from repro.gnn.models import build_gnn
+from repro.graphs.graph import Graph
+from repro.im.celf import celf_coverage
+from repro.im.ris import reverse_reachable_set, ris_im, sample_rr_sets
+from repro.im.spread import coverage_spread
+
+
+class TestRIS:
+    def test_rr_set_contains_target(self, clustered_graph):
+        rr_set = reverse_reachable_set(clustered_graph, 5, rng=0)
+        assert 5 in rr_set
+
+    def test_rr_set_deterministic_graph_is_ancestors(self, tiny_graph):
+        # w = 1: the RR set of node 4 is everything that reaches 4.
+        rr_set = reverse_reachable_set(tiny_graph, 4, rng=0)
+        assert rr_set == {0, 1, 2, 3, 4}
+
+    def test_rr_set_respects_weights(self):
+        graph = Graph(2, [(0, 1)], weights=[0.0])
+        assert reverse_reachable_set(graph, 1, rng=0) == {1}
+
+    def test_rr_set_max_steps(self, tiny_graph):
+        rr_set = reverse_reachable_set(tiny_graph, 4, rng=0, max_steps=1)
+        assert rr_set == {3, 4}
+
+    def test_sample_count(self, clustered_graph):
+        rr_sets = sample_rr_sets(clustered_graph, 25, rng=0)
+        assert len(rr_sets) == 25
+
+    def test_ris_close_to_celf_on_coverage(self, clustered_graph):
+        """With w=1 and 1-step cascades, RIS approximates 1-hop coverage IM."""
+        seeds_ris, _ = ris_im(clustered_graph, 5, num_rr_sets=3000, max_steps=1, rng=0)
+        _, celf_spread = celf_coverage(clustered_graph, 5)
+        ris_spread = coverage_spread(clustered_graph, seeds_ris)
+        assert ris_spread >= 0.8 * celf_spread
+
+    def test_ris_estimate_positive(self, clustered_graph):
+        _, estimate = ris_im(clustered_graph, 3, num_rr_sets=500, rng=0)
+        assert estimate > 0
+
+    def test_ris_returns_k_distinct_seeds(self, clustered_graph):
+        seeds, _ = ris_im(clustered_graph, 7, num_rr_sets=300, rng=0)
+        assert len(set(seeds)) == 7
+
+    def test_validation(self, tiny_graph):
+        with pytest.raises(GraphError):
+            reverse_reachable_set(tiny_graph, 99)
+        with pytest.raises(GraphError):
+            sample_rr_sets(tiny_graph, 0)
+        with pytest.raises(GraphError):
+            ris_im(tiny_graph, 0)
+
+
+class TestInputPerturbation:
+    def test_keep_probability_formula(self):
+        assert randomized_response_keep_probability(0.001) == pytest.approx(0.5, abs=1e-3)
+        assert randomized_response_keep_probability(10.0) == pytest.approx(1.0, abs=1e-4)
+        with pytest.raises(PrivacyError):
+            randomized_response_keep_probability(0.0)
+
+    def test_high_epsilon_preserves_structure(self, clustered_graph):
+        sanitised = randomized_response_graph(clustered_graph, 12.0, rng=0)
+        assert edge_flip_rate(clustered_graph, sanitised) < 0.01
+
+    def test_low_epsilon_destroys_structure(self, clustered_graph):
+        sanitised = randomized_response_graph(clustered_graph, 0.1, rng=0)
+        assert edge_flip_rate(clustered_graph, sanitised) > 0.3
+
+    def test_edge_count_roughly_preserved(self, clustered_graph):
+        sanitised = randomized_response_graph(clustered_graph, 1.0, rng=0)
+        assert sanitised.num_edges == pytest.approx(clustered_graph.num_edges, rel=0.1)
+
+    def test_flip_rate_monotone_in_epsilon(self, clustered_graph):
+        rates = [
+            edge_flip_rate(
+                clustered_graph, randomized_response_graph(clustered_graph, eps, rng=0)
+            )
+            for eps in (0.1, 1.0, 4.0)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_node_count_unchanged(self, clustered_graph):
+        sanitised = randomized_response_graph(clustered_graph, 1.0, rng=0)
+        assert sanitised.num_nodes == clustered_graph.num_nodes
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path, clustered_graph):
+        from repro.core.seed_selection import select_top_k_seeds
+
+        model = build_gnn("grat", hidden_features=8, num_layers=2, rng=3)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored.config.model == "grat"
+        assert restored.config.hidden_features == 8
+        assert select_top_k_seeds(restored, clustered_graph, 5) == select_top_k_seeds(
+            model, clustered_graph, 5
+        )
+
+    def test_rejects_foreign_archives(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, data=np.ones(3))
+        with pytest.raises(TrainingError):
+            load_model(path)
+
+
+class TestCLI:
+    def test_datasets_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "gowalla" in output
+
+    def test_calibrate_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["calibrate", "--epsilon", "3", "--steps", "10"]) == 0
+        assert "sigma" in capsys.readouterr().out
+
+    def test_train_and_seeds_commands(self, tmp_path, capsys):
+        from repro.cli import main
+
+        checkpoint = str(tmp_path / "model.npz")
+        code = main(
+            [
+                "train",
+                "--dataset", "lastfm",
+                "--scale", "0.03",
+                "--iterations", "3",
+                "--k", "5",
+                "--save", checkpoint,
+            ]
+        )
+        assert code == 0
+        assert "ratio" in capsys.readouterr().out
+
+        assert main(["seeds", checkpoint, "--dataset", "lastfm",
+                     "--scale", "0.03", "--k", "4"]) == 0
+        seeds = capsys.readouterr().out.split()
+        assert len(seeds) == 4
+
+    def test_experiment_command_smoke(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "table1", "--profile", "smoke"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+
+class TestCLIAudit:
+    def test_audit_command(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["audit", "--dataset", "bitcoin", "--scale", "0.02",
+             "--epsilon", "4", "--repeats", "2", "--iterations", "2"]
+        )
+        output = capsys.readouterr().out
+        assert "attack advantage" in output
+        assert code in (0, 1)
+
+
+class TestCLIExperimentVariants:
+    def test_fig13_experiment_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "fig13", "--profile", "smoke",
+                     "--dataset", "lastfm"]) == 0
+        assert "theta" in capsys.readouterr().out
+
+    def test_indicator_experiment_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "indicator", "--profile", "smoke",
+                     "--dataset", "lastfm"]) == 0
+        assert "indicator" in capsys.readouterr().out
+
+
+class TestIMM:
+    def test_sample_size_monotone_in_epsilon(self):
+        from repro.im.imm import imm_sample_size
+
+        loose = imm_sample_size(1000, 10, approx_epsilon=0.5)
+        tight = imm_sample_size(1000, 10, approx_epsilon=0.1)
+        assert tight > loose
+
+    def test_sample_size_grows_with_n(self):
+        from repro.im.imm import imm_sample_size
+
+        assert imm_sample_size(10_000, 10) > imm_sample_size(1000, 10)
+
+    def test_opt_lower_bound_reduces_samples(self):
+        from repro.im.imm import imm_sample_size
+
+        base = imm_sample_size(1000, 10)
+        informed = imm_sample_size(1000, 10, opt_lower_bound=200)
+        assert informed < base
+
+    def test_log_binomial_matches_scipy(self):
+        from scipy.special import comb
+
+        from repro.im.imm import log_binomial
+
+        assert log_binomial(30, 7) == pytest.approx(np.log(comb(30, 7, exact=True)))
+        with pytest.raises(GraphError):
+            log_binomial(5, 9)
+
+    def test_imm_im_runs_and_caps(self, clustered_graph):
+        from repro.im.imm import imm_im
+
+        seeds, estimate = imm_im(
+            clustered_graph, 5, approx_epsilon=0.5, max_steps=1,
+            max_rr_sets=500, rng=0,
+        )
+        assert len(set(seeds)) == 5
+        assert estimate > 0
+
+    def test_imm_validation(self):
+        from repro.im.imm import imm_sample_size
+
+        with pytest.raises(GraphError):
+            imm_sample_size(0, 1)
+        with pytest.raises(GraphError):
+            imm_sample_size(10, 0)
+        with pytest.raises(GraphError):
+            imm_sample_size(10, 2, approx_epsilon=1.5)
+        with pytest.raises(GraphError):
+            imm_sample_size(10, 2, ell=0)

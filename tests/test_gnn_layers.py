@@ -1,0 +1,212 @@
+"""Tests for the five GNN convolution layers."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.layers import GATConv, GCNConv, GINConv, GRATConv, SAGEConv
+from repro.gnn.message_passing import add_self_loops, aggregate_neighbors, check_edge_index
+from repro.errors import ShapeError
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def line_graph_inputs(rng):
+    """A 4-node path 0->1->2->3 with random features."""
+    edge_index = np.array([[0, 1, 2], [1, 2, 3]])
+    x = Tensor(rng.normal(size=(4, 3)))
+    return x, edge_index, np.ones(3)
+
+
+class TestMessagePassing:
+    def test_aggregate_sum(self):
+        x = Tensor(np.array([[1.0], [2.0], [4.0]]))
+        edge_index = np.array([[0, 1], [2, 2]])
+        result = aggregate_neighbors(x, edge_index, 3)
+        np.testing.assert_allclose(result.data, [[0.0], [0.0], [3.0]])
+
+    def test_aggregate_weighted(self):
+        x = Tensor(np.array([[1.0], [2.0]]))
+        edge_index = np.array([[0, 1], [1, 0]])
+        result = aggregate_neighbors(x, edge_index, 2, edge_weight=np.array([0.5, 0.25]))
+        np.testing.assert_allclose(result.data, [[0.5], [0.5]])
+
+    def test_aggregate_mean(self):
+        x = Tensor(np.array([[2.0], [4.0], [0.0]]))
+        edge_index = np.array([[0, 1], [2, 2]])
+        result = aggregate_neighbors(x, edge_index, 3, reduce="mean")
+        np.testing.assert_allclose(result.data, [[0.0], [0.0], [3.0]])
+
+    def test_invalid_reduce(self):
+        with pytest.raises(ShapeError):
+            aggregate_neighbors(Tensor(np.ones((2, 1))), np.array([[0], [1]]), 2, reduce="max")
+
+    def test_edge_index_validation(self):
+        with pytest.raises(ShapeError):
+            check_edge_index(np.array([0, 1]), 2)
+        with pytest.raises(ShapeError):
+            check_edge_index(np.array([[0], [5]]), 2)
+
+    def test_edge_weight_shape_checked(self):
+        with pytest.raises(ShapeError):
+            aggregate_neighbors(
+                Tensor(np.ones((2, 1))),
+                np.array([[0], [1]]),
+                2,
+                edge_weight=np.ones(3),
+            )
+
+    def test_add_self_loops(self):
+        edge_index = np.array([[0], [1]])
+        new_index, new_weight = add_self_loops(edge_index, np.array([0.5]), 3)
+        assert new_index.shape == (2, 4)
+        np.testing.assert_allclose(new_weight, [0.5, 1.0, 1.0, 1.0])
+
+
+class TestGCN:
+    def test_matches_dense_formula(self, rng):
+        """GCN output must equal D^{-1/2} A D^{-1/2} X W computed densely."""
+        num_nodes = 5
+        edges = np.array([[0, 1, 2, 3, 1], [1, 2, 3, 4, 4]])
+        layer = GCNConv(3, 2, self_loops=True, rng=0)
+        x = rng.normal(size=(num_nodes, 3))
+
+        result = layer(Tensor(x), edges, np.ones(edges.shape[1]))
+
+        adjacency = np.zeros((num_nodes, num_nodes))
+        adjacency[edges[0], edges[1]] = 1.0
+        adjacency += np.eye(num_nodes)
+        out_degree = adjacency.sum(axis=1)
+        in_degree = adjacency.sum(axis=0)
+        norm = adjacency / np.sqrt(out_degree)[:, None] / np.sqrt(in_degree)[None, :]
+        expected = norm.T @ x @ layer.linear.weight.data + layer.linear.bias.data
+        np.testing.assert_allclose(result.data, expected, atol=1e-10)
+
+    def test_output_shape(self, line_graph_inputs):
+        x, edge_index, weights = line_graph_inputs
+        assert GCNConv(3, 8, rng=0)(x, edge_index, weights).shape == (4, 8)
+
+
+class TestSAGE:
+    def test_isolated_node_keeps_self_features(self, rng):
+        layer = SAGEConv(2, 2, rng=0)
+        x = rng.normal(size=(3, 2))
+        result = layer(Tensor(x), np.array([[0], [1]]), np.ones(1))
+        # Node 2 has no in-edges: output = [x_2 | 0] W + b.
+        expected = np.concatenate([x[2], np.zeros(2)]) @ layer.linear.weight.data
+        expected = expected + layer.linear.bias.data
+        np.testing.assert_allclose(result.data[2], expected, atol=1e-12)
+
+
+class TestAttention:
+    def test_gat_attention_normalised_per_target(self, rng):
+        layer = GATConv(3, 4, rng=0)
+        x = Tensor(rng.normal(size=(4, 3)))
+        edges = np.array([[0, 1, 2], [3, 3, 3]])
+        result = layer(x, edges, None)
+        # Node 3 aggregates a convex combination of transformed sources;
+        # its output must lie inside their convex hull coordinate ranges.
+        transformed = x.data @ layer.linear.weight.data
+        sources = transformed[[0, 1, 2]]
+        assert np.all(result.data[3] <= sources.max(axis=0) + 1e-9)
+        assert np.all(result.data[3] >= sources.min(axis=0) - 1e-9)
+
+    def test_grat_normalises_per_source(self, rng):
+        """One source with two targets splits unit attention between them."""
+        layer = GRATConv(2, 3, rng=0)
+        x = Tensor(rng.normal(size=(3, 2)))
+        edges = np.array([[0, 0], [1, 2]])
+        result = layer(x, edges, None)
+        transformed = x.data @ layer.linear.weight.data
+        # alpha_1 + alpha_2 = 1, messages are alpha_i * transformed[0].
+        combined = result.data[1] + result.data[2]
+        np.testing.assert_allclose(combined, transformed[0], atol=1e-10)
+
+    def test_gat_empty_edges(self, rng):
+        layer = GATConv(2, 3, rng=0)
+        result = layer(Tensor(rng.normal(size=(3, 2))), np.empty((2, 0), dtype=int), None)
+        np.testing.assert_allclose(result.data, np.zeros((3, 3)))
+
+    def test_attention_gradient_flows(self, rng):
+        # Source 0 has two out-edges so its GRAT softmax is non-degenerate;
+        # with a single out-edge per source the attention gradient is
+        # exactly zero (softmax over one element is constant).
+        layer = GRATConv(2, 3, rng=0)
+        x = Tensor(rng.normal(size=(4, 2)))
+        edges = np.array([[0, 0, 1], [1, 2, 3]])
+        # A plain sum is invariant to attention (the coefficients sum to 1
+        # per source), so square the outputs to make the loss sensitive.
+        (layer(x, edges, None) ** 2).sum().backward()
+        assert layer.attention.grad is not None
+        assert np.linalg.norm(layer.attention.grad) > 0
+
+    def test_single_out_edge_attention_gradient_is_zero(self, rng):
+        layer = GRATConv(2, 3, rng=0)
+        x = Tensor(rng.normal(size=(4, 2)))
+        edges = np.array([[0, 1, 2], [1, 2, 3]])
+        layer(x, edges, None).sum().backward()
+        np.testing.assert_allclose(layer.attention.grad, 0.0)
+
+
+class TestGIN:
+    def test_matches_manual_formula(self, rng):
+        layer = GINConv(2, 2, rng=0)
+        layer.epsilon.data = np.array([0.5])
+        x = rng.normal(size=(3, 2))
+        edges = np.array([[0, 1], [2, 2]])
+        result = layer(Tensor(x), edges, None)
+        combined = np.zeros_like(x)
+        combined[2] = x[0] + x[1]
+        combined += (1.0 + 0.5) * x
+        hidden = np.maximum(
+            combined @ layer.mlp_in.weight.data + layer.mlp_in.bias.data, 0.0
+        )
+        expected = hidden @ layer.mlp_out.weight.data + layer.mlp_out.bias.data
+        np.testing.assert_allclose(result.data, expected, atol=1e-10)
+
+    def test_epsilon_is_trainable(self, rng):
+        layer = GINConv(2, 2, rng=0)
+        x = Tensor(rng.normal(size=(3, 2)))
+        layer(x, np.array([[0], [1]]), None).sum().backward()
+        assert layer.epsilon.grad is not None
+
+
+class TestMultiHead:
+    def test_output_shape_and_heads(self, rng):
+        from repro.gnn.layers import GATConv
+
+        layer = GATConv(4, 8, heads=2, rng=0)
+        x = Tensor(rng.normal(size=(6, 4)))
+        edges = np.array([[0, 0, 1, 2, 3], [1, 2, 2, 3, 4]])
+        out = layer(x, edges, np.ones(5))
+        assert out.shape == (6, 8)
+        assert len(layer.attentions) == 2
+
+    def test_head_dim_divisibility_checked(self):
+        from repro.gnn.layers import GATConv
+
+        with pytest.raises(ValueError):
+            GATConv(4, 7, heads=2, rng=0)
+        with pytest.raises(ValueError):
+            GATConv(4, 8, heads=0, rng=0)
+
+    def test_multi_head_grat_per_source_normalisation(self, rng):
+        """Each head independently distributes unit attention per source."""
+        layer = GRATConv(2, 6, heads=2, rng=0)
+        x = Tensor(rng.normal(size=(3, 2)))
+        edges = np.array([[0, 0], [1, 2]])
+        result = layer(x, edges, None)
+        transformed = x.data @ layer.linear.weight.data
+        combined = result.data[1] + result.data[2]
+        # Head 0 covers columns 0..2, head 1 columns 3..5; each must
+        # reconstruct the source's slice exactly (alphas sum to 1).
+        np.testing.assert_allclose(combined, transformed[0], atol=1e-10)
+
+    def test_multi_head_gradients_reach_every_head(self, rng):
+        from repro.gnn.layers import GATConv
+
+        layer = GATConv(3, 6, heads=3, rng=0)
+        x = Tensor(rng.normal(size=(5, 3)))
+        edges = np.array([[0, 0, 1, 1], [1, 2, 2, 3]])
+        (layer(x, edges, None) ** 2).sum().backward()
+        for attention in layer.attentions:
+            assert attention.grad is not None

@@ -1,0 +1,125 @@
+"""Tests for the stacked GNN models and featuriser."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, TrainingError
+from repro.gnn.features import degree_features
+from repro.gnn.models import GNN, GNNConfig, available_models, build_gnn
+from repro.nn.tensor import Tensor
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", available_models())
+    def test_all_models_build_and_run(self, name, clustered_graph):
+        model = build_gnn(name, hidden_features=8, num_layers=2, rng=0)
+        x = Tensor(degree_features(clustered_graph))
+        out = model(x, clustered_graph.edge_index(), clustered_graph.edge_arrays()[2])
+        assert out.shape == (clustered_graph.num_nodes,)
+        assert np.all((out.data >= 0) & (out.data <= 1))
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(TrainingError):
+            build_gnn("transformer")
+
+    def test_zero_layers_rejected(self):
+        with pytest.raises(TrainingError):
+            GNN(GNNConfig(num_layers=0))
+
+    def test_graphsage_alias(self):
+        model = build_gnn("graphsage", hidden_features=4, num_layers=1, rng=0)
+        assert model.num_layers == 1
+
+    def test_parameter_count_scales_with_width(self):
+        narrow = build_gnn("gcn", hidden_features=4, num_layers=2, rng=0)
+        wide = build_gnn("gcn", hidden_features=32, num_layers=2, rng=0)
+        assert wide.num_parameters() > narrow.num_parameters()
+
+    def test_deterministic_init(self):
+        first = build_gnn("gat", hidden_features=8, num_layers=2, rng=11)
+        second = build_gnn("gat", hidden_features=8, num_layers=2, rng=11)
+        for key, value in first.state_dict().items():
+            np.testing.assert_allclose(second.state_dict()[key], value)
+
+    def test_head_weights_non_negative_at_init(self):
+        model = build_gnn("grat", rng=0)
+        assert np.all(model.head.weight.data >= 0)
+
+    def test_backward_reaches_all_layers(self, clustered_graph):
+        model = build_gnn("gin", hidden_features=8, num_layers=3, rng=0)
+        x = Tensor(degree_features(clustered_graph))
+        out = model(x, clustered_graph.edge_index(), clustered_graph.edge_arrays()[2])
+        (out**2).sum().backward()
+        gradient = model.gradient_vector()
+        assert np.linalg.norm(gradient) > 0
+
+    def test_node_embeddings_shape(self, clustered_graph):
+        model = build_gnn("gcn", hidden_features=16, num_layers=2, rng=0)
+        x = Tensor(degree_features(clustered_graph))
+        hidden = model.node_embeddings(
+            x, clustered_graph.edge_index(), clustered_graph.edge_arrays()[2]
+        )
+        assert hidden.shape == (clustered_graph.num_nodes, 16)
+
+
+class TestFeatures:
+    def test_shape_and_range(self, clustered_graph):
+        features = degree_features(clustered_graph, dim=5)
+        assert features.shape == (clustered_graph.num_nodes, 5)
+        assert np.all(features >= 0) and np.all(features <= 1)
+
+    def test_degree_channels_monotone(self, tiny_graph):
+        features = degree_features(tiny_graph, dim=2)
+        # Node 0 has the highest out-degree -> largest channel-0 value.
+        assert np.argmax(features[:, 0]) == 0
+
+    def test_constant_channel(self, tiny_graph):
+        features = degree_features(tiny_graph, dim=3)
+        np.testing.assert_allclose(features[:, 2], 1.0)
+
+    def test_random_channels_deterministic(self, tiny_graph):
+        first = degree_features(tiny_graph, dim=6)
+        second = degree_features(tiny_graph, dim=6)
+        np.testing.assert_allclose(first, second)
+
+    def test_random_channels_not_constant(self, clustered_graph):
+        features = degree_features(clustered_graph, dim=5)
+        assert features[:, 4].std() > 0.1
+
+    def test_dim_validation(self, tiny_graph):
+        with pytest.raises(GraphError):
+            degree_features(tiny_graph, dim=0)
+
+    def test_empty_graph(self):
+        from repro.graphs.graph import Graph
+
+        features = degree_features(Graph(0, []), dim=3)
+        assert features.shape == (0, 3)
+
+
+class TestMultiHeadModels:
+    def test_build_gnn_with_heads(self, clustered_graph):
+        model = build_gnn("grat", hidden_features=8, num_layers=2,
+                          attention_heads=2, rng=0)
+        x = Tensor(degree_features(clustered_graph))
+        out = model(x, clustered_graph.edge_index(), clustered_graph.edge_arrays()[2])
+        assert out.shape == (clustered_graph.num_nodes,)
+        assert len(model.convs[0].attentions) == 2
+
+    def test_heads_ignored_for_non_attention_models(self):
+        model = build_gnn("gcn", hidden_features=8, num_layers=2,
+                          attention_heads=4, rng=0)
+        assert model.config.attention_heads == 4  # recorded but unused
+
+    def test_checkpoint_preserves_heads(self, tmp_path, clustered_graph):
+        from repro.core.checkpoint import load_model, save_model
+
+        model = build_gnn("gat", hidden_features=8, num_layers=2,
+                          attention_heads=2, rng=0)
+        path = tmp_path / "mh.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored.config.attention_heads == 2
+        x = Tensor(degree_features(clustered_graph))
+        args = (x, clustered_graph.edge_index(), clustered_graph.edge_arrays()[2])
+        np.testing.assert_allclose(restored(*args).data, model(*args).data)

@@ -1,0 +1,186 @@
+"""Tests for the core :class:`Graph` data structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_basic_directed(self, tiny_graph):
+        assert tiny_graph.num_nodes == 5
+        assert tiny_graph.num_edges == 5
+        assert tiny_graph.is_directed
+
+    def test_empty_graph(self):
+        graph = Graph(3, [])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 0
+        assert list(graph.out_neighbors(0)) == []
+
+    def test_zero_node_graph(self):
+        graph = Graph(0, [])
+        assert graph.num_nodes == 0
+        assert graph.average_degree == 0.0
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1, [])
+
+    def test_edge_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 2)])
+        with pytest.raises(GraphError):
+            Graph(2, [(-1, 0)])
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, np.array([[0, 1, 2]]))
+
+    def test_weights_length_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1)], weights=[0.5, 0.6])
+
+    def test_weights_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1)], weights=[1.5])
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1)], weights=[-0.1])
+
+    def test_default_weights_are_one(self, tiny_graph):
+        assert np.all(tiny_graph.edge_arrays()[2] == 1.0)
+
+    def test_undirected_materialises_both_arcs(self):
+        graph = Graph(3, [(0, 1), (1, 2)], directed=False)
+        assert graph.num_edges == 4
+        assert graph.num_undirected_edges == 2
+        assert graph.has_edge(1, 0)
+        assert graph.has_edge(0, 1)
+
+    def test_undirected_duplicate_edges_deduped(self):
+        graph = Graph(2, [(0, 1), (1, 0)], directed=False)
+        assert graph.num_edges == 2  # just 0->1 and 1->0
+
+
+class TestNeighbors:
+    def test_out_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.out_neighbors(0)) == [1, 2]
+        assert sorted(tiny_graph.out_neighbors(4)) == []
+
+    def test_in_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.in_neighbors(2)) == [0, 1]
+        assert sorted(tiny_graph.in_neighbors(0)) == []
+
+    def test_degrees(self, tiny_graph):
+        assert list(tiny_graph.out_degrees()) == [2, 1, 1, 1, 0]
+        assert list(tiny_graph.in_degrees()) == [0, 1, 2, 1, 1]
+
+    def test_average_degree(self, tiny_graph):
+        assert tiny_graph.average_degree == 1.0
+
+    def test_weights_aligned_with_neighbors(self, weighted_graph):
+        neighbors = weighted_graph.out_neighbors(0)
+        weights = weighted_graph.out_weights(0)
+        lookup = dict(zip(neighbors.tolist(), weights.tolist()))
+        assert lookup == {1: 0.5, 2: 0.25}
+
+    def test_in_weights_mirror_out_weights(self, weighted_graph):
+        sources = weighted_graph.in_neighbors(3)
+        weights = weighted_graph.in_weights(3)
+        lookup = dict(zip(sources.tolist(), weights.tolist()))
+        assert lookup == {1: 1.0, 2: 0.75}
+
+    def test_node_out_of_range(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.out_neighbors(5)
+        with pytest.raises(GraphError):
+            tiny_graph.in_neighbors(-1)
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert not tiny_graph.has_edge(1, 0)
+
+    def test_edges_iterator(self, weighted_graph):
+        triples = set(weighted_graph.edges())
+        assert (0, 1, 0.5) in triples
+        assert len(triples) == 4
+
+    def test_edge_index_shape(self, tiny_graph):
+        index = tiny_graph.edge_index()
+        assert index.shape == (2, 5)
+        assert index.min() >= 0 and index.max() < 5
+
+
+class TestDerivedGraphs:
+    def test_subgraph_structure(self, tiny_graph):
+        sub, node_map = tiny_graph.subgraph([0, 1, 2])
+        assert sub.num_nodes == 3
+        assert list(node_map) == [0, 1, 2]
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2) and sub.has_edge(0, 2)
+        assert sub.num_edges == 3  # edge 2->3 dropped
+
+    def test_subgraph_respects_order(self, tiny_graph):
+        sub, node_map = tiny_graph.subgraph([2, 0])
+        assert list(node_map) == [2, 0]
+        # Original edge 0->2 becomes local 1->0.
+        assert sub.has_edge(1, 0)
+
+    def test_subgraph_duplicates_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.subgraph([0, 0, 1])
+
+    def test_subgraph_out_of_range_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.subgraph([0, 9])
+
+    def test_subgraph_preserves_weights(self, weighted_graph):
+        sub, _ = weighted_graph.subgraph([0, 1])
+        assert sub.out_weights(0).tolist() == [0.5]
+
+    def test_reverse(self, tiny_graph):
+        reversed_graph = tiny_graph.reverse()
+        assert reversed_graph.has_edge(1, 0)
+        assert not reversed_graph.has_edge(0, 1)
+        assert reversed_graph.num_edges == tiny_graph.num_edges
+
+    def test_reverse_twice_is_identity(self, weighted_graph):
+        assert weighted_graph.reverse().reverse() == weighted_graph
+
+    def test_with_uniform_weights(self, weighted_graph):
+        uniform = weighted_graph.with_uniform_weights(0.3)
+        assert np.all(uniform.edge_arrays()[2] == 0.3)
+        with pytest.raises(GraphError):
+            weighted_graph.with_uniform_weights(1.2)
+
+    def test_remove_nodes(self, tiny_graph):
+        remaining, node_map = tiny_graph.remove_nodes([2])
+        assert remaining.num_nodes == 4
+        assert 2 not in node_map
+        # Edges through node 2 are gone; 3->4 survives as local edge.
+        local_3 = list(node_map).index(3)
+        local_4 = list(node_map).index(4)
+        assert remaining.has_edge(local_3, local_4)
+
+
+class TestDenseExport:
+    def test_adjacency_matrix(self, weighted_graph):
+        matrix = weighted_graph.adjacency_matrix()
+        assert matrix.shape == (4, 4)
+        assert matrix[0, 1] == 0.5
+        assert matrix[2, 3] == 0.75
+        assert matrix[3, 0] == 0.0
+
+    def test_adjacency_matrix_size_guard(self):
+        graph = Graph(10_001, [])
+        with pytest.raises(GraphError):
+            graph.adjacency_matrix()
+
+    def test_equality(self, tiny_graph):
+        clone = Graph(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)])
+        assert clone == tiny_graph
+        other = Graph(5, [(0, 1)])
+        assert other != tiny_graph
+
+    def test_repr(self, tiny_graph):
+        assert "num_nodes=5" in repr(tiny_graph)

@@ -1,0 +1,130 @@
+"""Tests for graph statistics (cross-checked against networkx)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.builders import to_networkx
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import (
+    average_clustering_coefficient,
+    connected_components,
+    degree_gini,
+    degree_histogram,
+    largest_component_fraction,
+    local_clustering_coefficient,
+    summarize_graph,
+)
+
+
+class TestDegreeStats:
+    def test_histogram(self, tiny_graph):
+        hist = degree_histogram(tiny_graph, direction="out")
+        # out-degrees: [2, 1, 1, 1, 0] -> one 0, three 1s, one 2.
+        assert hist.tolist() == [1, 3, 1]
+
+    def test_histogram_direction(self, tiny_graph):
+        hist = degree_histogram(tiny_graph, direction="in")
+        # in-degrees: [0, 1, 2, 1, 1].
+        assert hist.tolist() == [1, 3, 1]
+        with pytest.raises(GraphError):
+            degree_histogram(tiny_graph, direction="both")
+
+    def test_gini_uniform_is_zero(self):
+        ring = Graph(6, [(i, (i + 1) % 6) for i in range(6)])
+        assert degree_gini(ring) == pytest.approx(0.0, abs=1e-12)
+
+    def test_gini_star_is_high(self):
+        star = Graph(11, [(0, i) for i in range(1, 11)])
+        assert degree_gini(star) > 0.85
+
+    def test_gini_heavy_tail_exceeds_uniformish(self, social_graph):
+        from repro.graphs.generators import erdos_renyi_graph
+
+        uniform = erdos_renyi_graph(150, 0.04, rng=0)
+        assert degree_gini(social_graph) > degree_gini(uniform)
+
+    def test_empty_graph(self):
+        empty = Graph(0, [])
+        assert degree_gini(empty) == 0.0
+        assert degree_histogram(empty).tolist() == [0]
+
+
+class TestClustering:
+    def test_triangle_has_full_clustering(self):
+        triangle = Graph(3, [(0, 1), (1, 2), (0, 2)], directed=False)
+        assert local_clustering_coefficient(triangle, 0) == pytest.approx(1.0)
+
+    def test_path_has_zero_clustering(self):
+        path = Graph(3, [(0, 1), (1, 2)], directed=False)
+        assert local_clustering_coefficient(path, 1) == pytest.approx(0.0)
+
+    def test_degree_one_is_zero(self, tiny_graph):
+        assert local_clustering_coefficient(tiny_graph, 4) == 0.0
+
+    def test_matches_networkx_on_undirected(self, clustered_graph):
+        import networkx as nx
+
+        ours = average_clustering_coefficient(clustered_graph)
+        reference = nx.average_clustering(to_networkx(clustered_graph).to_undirected())
+        assert ours == pytest.approx(reference, abs=1e-9)
+
+    def test_sampled_close_to_exact(self, clustered_graph):
+        exact = average_clustering_coefficient(clustered_graph)
+        sampled = average_clustering_coefficient(
+            clustered_graph, sample_size=120, rng=0
+        )
+        assert sampled == pytest.approx(exact, abs=0.1)
+
+
+class TestComponents:
+    def test_connected_graph_single_component(self, social_graph):
+        components = connected_components(social_graph)
+        assert len(components) == 1
+        assert len(components[0]) == social_graph.num_nodes
+
+    def test_disjoint_components_sorted_by_size(self):
+        graph = Graph(7, [(0, 1), (1, 2), (3, 4), (5, 6), (4, 3)])
+        components = connected_components(graph)
+        sizes = [len(c) for c in components]
+        assert sizes == [3, 2, 2]
+        assert components[0] == [0, 1, 2]
+
+    def test_isolated_nodes_are_singletons(self):
+        graph = Graph(4, [(0, 1)])
+        components = connected_components(graph)
+        assert [len(c) for c in components] == [2, 1, 1]
+
+    def test_largest_component_fraction(self):
+        graph = Graph(4, [(0, 1)])
+        assert largest_component_fraction(graph) == pytest.approx(0.5)
+        assert largest_component_fraction(Graph(0, [])) == 0.0
+
+    def test_matches_networkx(self, clustered_graph):
+        import networkx as nx
+
+        ours = {frozenset(c) for c in connected_components(clustered_graph)}
+        reference = {
+            frozenset(int(n) for n in c)
+            for c in nx.connected_components(to_networkx(clustered_graph).to_undirected())
+        }
+        assert ours == reference
+
+
+class TestSummary:
+    def test_summary_fields(self, clustered_graph):
+        summary = summarize_graph(clustered_graph)
+        assert summary.num_nodes == clustered_graph.num_nodes
+        assert summary.num_edges == clustered_graph.num_edges
+        assert summary.max_out_degree >= 1
+        assert 0 <= summary.degree_gini <= 1
+        assert 0 <= summary.clustering <= 1
+        assert summary.largest_component_fraction == pytest.approx(1.0)
+
+    def test_dataset_equivalents_are_heavy_tailed_and_clustered(self):
+        """The synthetic social datasets must look like social networks."""
+        from repro.datasets import load_dataset
+
+        summary = summarize_graph(load_dataset("facebook", scale=0.03))
+        assert summary.degree_gini > 0.25
+        assert summary.clustering > 0.05

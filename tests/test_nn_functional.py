@@ -1,0 +1,127 @@
+"""Tests for the functional ops, especially the segment primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AutogradError, ShapeError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from tests.test_nn_tensor import check_gradient
+
+
+class TestScatterGather:
+    def test_scatter_add_values(self):
+        source = Tensor(np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]))
+        result = F.scatter_add_rows(source, np.array([0, 1, 0]), 2)
+        np.testing.assert_allclose(result.data, [[6.0, 8.0], [3.0, 4.0]])
+
+    def test_scatter_add_empty_rows_are_zero(self):
+        source = Tensor(np.array([[1.0]]))
+        result = F.scatter_add_rows(source, np.array([2]), 4)
+        np.testing.assert_allclose(result.data, [[0.0], [0.0], [1.0], [0.0]])
+
+    def test_scatter_add_gradient(self, rng):
+        indices = np.array([0, 1, 0, 2])
+        check_gradient(
+            lambda t: (F.scatter_add_rows(t, indices, 3) ** 2).sum(),
+            rng.normal(size=(4, 2)),
+        )
+
+    def test_scatter_index_validation(self):
+        source = Tensor(np.ones((2, 2)))
+        with pytest.raises(ShapeError):
+            F.scatter_add_rows(source, np.array([0]), 3)
+        with pytest.raises(AutogradError):
+            F.scatter_add_rows(source, np.array([0, 3]), 3)
+
+    def test_segment_sum_alias(self):
+        source = Tensor(np.ones((3, 1)))
+        result = F.segment_sum(source, np.array([1, 1, 0]), 2)
+        np.testing.assert_allclose(result.data, [[1.0], [2.0]])
+
+
+class TestSegmentSoftmax:
+    def test_values_match_manual(self):
+        logits = Tensor(np.array([1.0, 2.0, 3.0, 0.5]))
+        segments = np.array([0, 0, 1, 1])
+        result = F.segment_softmax(logits, segments, 2)
+        first = np.exp([1.0, 2.0])
+        first /= first.sum()
+        second = np.exp([3.0, 0.5])
+        second /= second.sum()
+        np.testing.assert_allclose(result.data[:2], first, rtol=1e-10)
+        np.testing.assert_allclose(result.data[2:], second, rtol=1e-10)
+
+    def test_sums_to_one_per_segment(self, rng):
+        logits = Tensor(rng.normal(size=20))
+        segments = rng.integers(0, 5, size=20)
+        result = F.segment_softmax(logits, segments, 5)
+        for segment in range(5):
+            mask = segments == segment
+            if mask.any():
+                assert result.data[mask].sum() == pytest.approx(1.0)
+
+    def test_large_logits_stable(self):
+        logits = Tensor(np.array([1000.0, 1000.1]))
+        result = F.segment_softmax(logits, np.array([0, 0]), 1)
+        assert np.all(np.isfinite(result.data))
+
+    def test_gradient(self, rng):
+        segments = np.array([0, 0, 1, 1, 1])
+        check_gradient(
+            lambda t: (F.segment_softmax(t, segments, 2) ** 2).sum(),
+            rng.normal(size=5),
+        )
+
+    def test_requires_1d(self):
+        with pytest.raises(ShapeError):
+            F.segment_softmax(Tensor(np.ones((2, 2))), np.array([0, 1]), 2)
+
+
+class TestActivations:
+    def test_softmax_rows(self, rng):
+        result = F.softmax(Tensor(rng.normal(size=(3, 4))), axis=-1)
+        np.testing.assert_allclose(result.data.sum(axis=1), np.ones(3))
+
+    def test_softmax_gradient(self, rng):
+        check_gradient(
+            lambda t: (F.softmax(t, axis=1) ** 2).sum(), rng.normal(size=(2, 3))
+        )
+
+    def test_clamp01_range_and_passthrough(self):
+        values = Tensor(np.array([-1.0, 0.25, 2.0]))
+        result = F.clamp01(values)
+        np.testing.assert_allclose(result.data, [0.0, 0.25, 1.0])
+
+    def test_one_minus_exp_range(self, rng):
+        values = Tensor(rng.normal(size=100) * 5)
+        result = F.one_minus_exp(values)
+        assert np.all(result.data >= 0.0)
+        assert np.all(result.data < 1.0)
+
+    def test_one_minus_exp_gradient(self, rng):
+        value = rng.uniform(0.1, 3.0, size=6)
+        check_gradient(lambda t: F.one_minus_exp(t).sum(), value)
+
+    def test_softplus_matches_reference(self, rng):
+        value = rng.normal(size=10) * 10
+        result = F.softplus(Tensor(value))
+        # atol covers the log1p cancellation in the deep negative tail.
+        np.testing.assert_allclose(
+            result.data, np.logaddexp(0.0, value), rtol=1e-8, atol=1e-12
+        )
+
+    def test_softplus_gradient_is_sigmoid(self, rng):
+        value = rng.normal(size=6)
+        tensor = Tensor(value, requires_grad=True)
+        F.softplus(tensor).sum().backward()
+        np.testing.assert_allclose(tensor.grad, 1 / (1 + np.exp(-value)), rtol=1e-8)
+
+    def test_log_sigmoid_stable(self):
+        result = F.log_sigmoid(Tensor(np.array([-1000.0, 0.0, 1000.0])))
+        assert np.all(np.isfinite(result.data[1:]))
+        assert result.data[0] == pytest.approx(-1000.0)
+
+    def test_concat_rejects_empty(self):
+        with pytest.raises(AutogradError):
+            F.concat([])

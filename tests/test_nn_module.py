@@ -1,0 +1,186 @@
+"""Tests for Module/Parameter containers and the gradient-vector helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AutogradError
+from repro.nn.module import Linear, Module, Parameter, Sequential
+from repro.nn.tensor import Tensor
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        self.first = Linear(3, 4, rng=0)
+        self.second = Linear(4, 2, rng=1)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.second(self.first(x).relu()) * self.scale
+
+
+class TestParameterDiscovery:
+    def test_named_parameters_paths(self):
+        model = TwoLayer()
+        names = {name for name, _ in model.named_parameters()}
+        assert names == {
+            "first.weight",
+            "first.bias",
+            "second.weight",
+            "second.bias",
+            "scale",
+        }
+
+    def test_parameters_in_list_attribute(self):
+        class Holder(Module):
+            def __init__(self):
+                self.layers = [Linear(2, 2, rng=0), Linear(2, 2, rng=1)]
+
+        names = {name for name, _ in Holder().named_parameters()}
+        assert "layers.0.weight" in names
+        assert "layers.1.bias" in names
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2 + 1
+
+    def test_zero_grad(self):
+        model = TwoLayer()
+        model(Tensor(np.ones((2, 3)))).sum().backward()
+        assert model.first.weight.grad is not None
+        model.zero_grad()
+        assert model.first.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        other = TwoLayer()
+        other.load_state_dict(state)
+        np.testing.assert_allclose(other.first.weight.data, model.first.weight.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"][0] = 99.0
+        assert model.scale.data[0] == 1.0
+
+    def test_missing_key_rejected(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(AutogradError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["extra"] = np.ones(1)
+        with pytest.raises(AutogradError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"] = np.ones(2)
+        with pytest.raises(AutogradError):
+            model.load_state_dict(state)
+
+
+class TestGradientVector:
+    def test_roundtrip(self):
+        model = TwoLayer()
+        model(Tensor(np.ones((2, 3)))).sum().backward()
+        vector = model.gradient_vector()
+        assert vector.shape == (model.num_parameters(),)
+        model.zero_grad()
+        model.apply_gradient_vector(vector)
+        np.testing.assert_allclose(model.gradient_vector(), vector)
+
+    def test_missing_grads_become_zero(self):
+        model = TwoLayer()
+        vector = model.gradient_vector()
+        np.testing.assert_allclose(vector, np.zeros_like(vector))
+
+    def test_apply_shape_checked(self):
+        model = TwoLayer()
+        with pytest.raises(AutogradError):
+            model.apply_gradient_vector(np.ones(3))
+
+
+class TestLayers:
+    def test_linear_forward(self):
+        layer = Linear(2, 3, rng=0)
+        layer.weight.data = np.array([[1.0, 0.0, 2.0], [0.0, 1.0, 3.0]])
+        layer.bias.data = np.array([0.5, 0.5, 0.5])
+        result = layer(Tensor(np.array([[1.0, 2.0]])))
+        np.testing.assert_allclose(result.data, [[1.5, 2.5, 8.5]])
+
+    def test_linear_no_bias(self):
+        layer = Linear(2, 2, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_sequential(self):
+        model = Sequential(Linear(2, 3, rng=0), lambda t: t.relu(), Linear(3, 1, rng=1))
+        result = model(Tensor(np.ones((4, 2))))
+        assert result.shape == (4, 1)
+        assert len(model.parameters()) == 4
+
+
+class TestDropoutAndModes:
+    def test_eval_mode_is_identity(self):
+        from repro.nn.module import Dropout
+
+        dropout = Dropout(0.5, rng=0)
+        dropout.eval()
+        values = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(dropout(values).data, values.data)
+
+    def test_training_mode_zeroes_and_rescales(self):
+        from repro.nn.module import Dropout
+
+        dropout = Dropout(0.5, rng=0)
+        out = dropout(Tensor(np.ones(10_000)))
+        zero_fraction = (out.data == 0).mean()
+        assert zero_fraction == pytest.approx(0.5, abs=0.03)
+        surviving = out.data[out.data != 0]
+        np.testing.assert_allclose(surviving, 2.0)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_rate_zero_is_identity_even_training(self):
+        from repro.nn.module import Dropout
+
+        dropout = Dropout(0.0)
+        values = Tensor(np.ones(5))
+        np.testing.assert_allclose(dropout(values).data, values.data)
+
+    def test_rate_validated(self):
+        from repro.nn.module import Dropout
+        from repro.errors import AutogradError
+
+        with pytest.raises(AutogradError):
+            Dropout(1.0)
+
+    def test_train_eval_recurses(self):
+        from repro.nn.module import Dropout
+
+        class WithDrop(Module):
+            def __init__(self):
+                self.inner = Dropout(0.5, rng=0)
+
+        model = WithDrop()
+        model.eval()
+        assert not model.inner.training
+        model.train()
+        assert model.inner.training
+
+    def test_dropout_gradient_masks_match(self):
+        from repro.nn.module import Dropout
+
+        dropout = Dropout(0.5, rng=1)
+        values = Tensor(np.ones(100), requires_grad=True)
+        out = dropout(values)
+        out.sum().backward()
+        # Gradient is the same mask * scale applied in forward.
+        np.testing.assert_allclose(values.grad, out.data)

@@ -1,0 +1,91 @@
+"""Tests for the optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(parameter: Parameter) -> Tensor:
+    """``(p - 3)^2`` summed — minimised at 3."""
+    return ((parameter - 3.0) ** 2).sum()
+
+
+class TestSGD:
+    def test_single_step_math(self):
+        parameter = Parameter(np.array([1.0]))
+        parameter.grad = np.array([2.0])
+        SGD([parameter], learning_rate=0.1).step()
+        np.testing.assert_allclose(parameter.data, [0.8])
+
+    def test_none_grad_skipped(self):
+        parameter = Parameter(np.array([1.0]))
+        SGD([parameter], learning_rate=0.1).step()
+        np.testing.assert_allclose(parameter.data, [1.0])
+
+    def test_weight_decay(self):
+        parameter = Parameter(np.array([1.0]))
+        parameter.grad = np.array([0.0])
+        SGD([parameter], learning_rate=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(parameter.data, [0.95])
+
+    def test_momentum_accumulates(self):
+        parameter = Parameter(np.array([0.0]))
+        optimizer = SGD([parameter], learning_rate=1.0, momentum=0.5)
+        parameter.grad = np.array([1.0])
+        optimizer.step()
+        np.testing.assert_allclose(parameter.data, [-1.0])
+        parameter.grad = np.array([1.0])
+        optimizer.step()  # velocity = 0.5*1 + 1 = 1.5
+        np.testing.assert_allclose(parameter.data, [-2.5])
+
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.array([0.0]))
+        optimizer = SGD([parameter], learning_rate=0.1)
+        for _ in range(200):
+            parameter.zero_grad()
+            quadratic_loss(parameter).backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, [3.0], atol=1e-4)
+
+    def test_validation(self):
+        parameter = Parameter(np.ones(1))
+        with pytest.raises(TrainingError):
+            SGD([parameter], learning_rate=0.0)
+        with pytest.raises(TrainingError):
+            SGD([], learning_rate=0.1)
+        with pytest.raises(TrainingError):
+            SGD([parameter], learning_rate=0.1, momentum=1.0)
+
+    def test_zero_grad(self):
+        parameter = Parameter(np.ones(1))
+        parameter.grad = np.ones(1)
+        SGD([parameter], learning_rate=0.1).zero_grad()
+        assert parameter.grad is None
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.array([0.0]))
+        optimizer = Adam([parameter], learning_rate=0.1)
+        for _ in range(500):
+            parameter.zero_grad()
+            quadratic_loss(parameter).backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, [3.0], atol=1e-3)
+
+    def test_first_step_is_learning_rate_sized(self):
+        parameter = Parameter(np.array([0.0]))
+        optimizer = Adam([parameter], learning_rate=0.1)
+        parameter.grad = np.array([5.0])
+        optimizer.step()
+        # Bias correction makes the first step ≈ lr regardless of grad scale.
+        np.testing.assert_allclose(parameter.data, [-0.1], atol=1e-6)
+
+    def test_validation(self):
+        parameter = Parameter(np.ones(1))
+        with pytest.raises(TrainingError):
+            Adam([parameter], learning_rate=0.1, betas=(1.0, 0.9))

@@ -1,0 +1,32 @@
+"""The README quickstart must actually run (with a smaller scale)."""
+
+from repro import PrivIMConfig, PrivIMStar, load_dataset
+from repro.experiments.harness import split_graph
+from repro.im import celf_coverage, coverage_spread
+
+
+def test_readme_quickstart_flow():
+    graph = load_dataset("lastfm", scale=0.05)
+    train_graph, test_graph = split_graph(graph, 0.5, rng=0)
+
+    pipeline = PrivIMStar(
+        PrivIMConfig(epsilon=4.0, iterations=8, subgraph_size=15, rng=7)
+    )
+    result = pipeline.fit(train_graph)
+    assert result.epsilon <= 4.0 + 1e-6
+
+    seeds = pipeline.select_seeds(test_graph, k=10)
+    spread = coverage_spread(test_graph, seeds)
+    _, celf_spread = celf_coverage(test_graph, 10)
+    assert 0 < spread <= celf_spread * 1.05
+
+
+def test_readme_public_api_names():
+    """Every name the README imports must exist at the documented path."""
+    import repro
+    import repro.im
+
+    for name in ("PrivIMStar", "PrivIMConfig", "load_dataset"):
+        assert hasattr(repro, name)
+    for name in ("celf_coverage", "coverage_spread", "ris_im"):
+        assert hasattr(repro.im, name)

@@ -1,0 +1,135 @@
+"""Tests for the shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AutogradError,
+    CalibrationError,
+    DatasetError,
+    ExperimentError,
+    GraphError,
+    PrivacyError,
+    ReproError,
+    SamplingError,
+    ShapeError,
+    TrainingError,
+)
+from repro.utils.rng import RngMixin, ensure_rng, spawn_rngs
+from repro.utils.tables import format_series, format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for error in (
+            GraphError,
+            DatasetError,
+            AutogradError,
+            PrivacyError,
+            SamplingError,
+            TrainingError,
+            ExperimentError,
+        ):
+            assert issubclass(error, ReproError)
+        assert issubclass(ShapeError, AutogradError)
+        assert issubclass(CalibrationError, PrivacyError)
+
+
+class TestRng:
+    def test_ensure_rng_from_seed(self):
+        first = ensure_rng(42)
+        second = ensure_rng(42)
+        assert first.random() == second.random()
+
+    def test_ensure_rng_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_ensure_rng_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_ensure_rng_type_error(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_rngs_independent(self):
+        children = spawn_rngs(0, 3)
+        assert len(children) == 3
+        values = [child.random() for child in children]
+        assert len(set(values)) == 3
+
+    def test_spawn_rngs_deterministic(self):
+        first = spawn_rngs(7, 2)
+        second = spawn_rngs(7, 2)
+        assert first[0].random() == second[0].random()
+
+    def test_mixin(self):
+        class Thing(RngMixin):
+            pass
+
+        assert isinstance(Thing(3).rng, np.random.Generator)
+
+
+class TestValidation:
+    def test_check_type(self):
+        check_type("x", 3, int)
+        with pytest.raises(TypeError):
+            check_type("x", 3, str)
+        with pytest.raises(TypeError, match="int | float"):
+            check_type("x", "3", (int, float))
+
+    def test_check_positive(self):
+        check_positive("x", 0.1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+
+    def test_check_non_negative(self):
+        check_non_negative("x", 0.0)
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    def test_check_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+
+    def test_check_in_range(self):
+        check_in_range("x", 5, 0, 10)
+        with pytest.raises(ValueError):
+            check_in_range("x", 0, 0, 10, low_inclusive=False)
+        with pytest.raises(ValueError):
+            check_in_range("x", 10, 0, 10, high_inclusive=False)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series(self):
+        text = format_series("line", [1, 2], [0.5, 0.25], x_label="eps")
+        assert "line" in text
+        assert "1 -> 0.5" in text
+
+    def test_format_series_length_checked(self):
+        with pytest.raises(ValueError):
+            format_series("line", [1], [1, 2])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
