@@ -47,6 +47,9 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--iterations", type=int, default=40)
     train.add_argument("--k", type=int, default=20)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--workers", type=int, default=1,
+                       help="sampling worker processes (1=serial, 0=one per CPU); "
+                            "results are bit-identical for any value")
     train.add_argument("--save", help="checkpoint path (.npz)")
 
     seeds = commands.add_parser("seeds", help="select seeds with a checkpoint")
@@ -94,6 +97,7 @@ def _command_train(args: argparse.Namespace) -> int:
         subgraph_size=args.subgraph_size,
         threshold=args.threshold,
         iterations=args.iterations,
+        workers=args.workers,
         rng=args.seed,
     )
     if args.method == "privim":
@@ -109,6 +113,12 @@ def _command_train(args: argparse.Namespace) -> int:
     print(f"dataset        : {args.dataset} (|V|={graph.num_nodes})")
     print(f"method         : {pipeline.method_name}")
     print(f"subgraphs      : {result.num_subgraphs} (N_g={result.max_occurrences})")
+    if result.sampling_stats is not None:
+        stats = result.sampling_stats
+        print(f"sampling       : {stats.workers} worker(s), "
+              f"{stats.walks_attempted} walks, {stats.walks_rejected} cap-rejected "
+              f"({100 * stats.cap_hit_rate:.1f}% cap-hit), "
+              f"{stats.total_seconds:.2f}s")
     print(f"noise sigma    : {result.sigma:.4f}")
     print(f"achieved eps   : {result.epsilon:.4f} (delta={result.delta:.2e})")
     print(f"spread@k={k:<4} : {spread}  (CELF {celf_spread}, "

@@ -28,8 +28,9 @@ from repro.errors import TrainingError
 from repro.gnn.models import build_gnn
 from repro.graphs.graph import Graph
 from repro.sampling.container import SubgraphContainer
-from repro.sampling.dual_stage import DualStageSamplingConfig, extract_subgraphs_dual_stage
-from repro.sampling.naive import NaiveSamplingConfig, extract_subgraphs_naive
+from repro.sampling.dual_stage import DualStageSamplingConfig
+from repro.sampling.naive import NaiveSamplingConfig
+from repro.sampling.parallel import SamplingStats, sample_dual_stage, sample_naive
 from repro.utils.rng import ensure_rng, spawn_rngs
 
 
@@ -60,6 +61,10 @@ class PrivIMConfig:
         clip_bound: per-subgraph clip norm ``C``.
         penalty: Eq. 5's λ.
         diffusion_steps: Eq. 5's j (paper evaluates j = 1).
+        workers: worker processes for subgraph sampling (1 = serial
+            reference path, 0 = one per CPU).  The sampled container is
+            bit-identical for any value under a fixed seed, so this is a
+            pure throughput knob — see :mod:`repro.sampling.parallel`.
         rng: master seed for the whole pipeline.
     """
 
@@ -83,6 +88,7 @@ class PrivIMConfig:
     penalty: float = 0.5
     diffusion_steps: int = 1
     phi: str = "clamp"
+    workers: int = 1
     rng: int | np.random.Generator | None = field(default=None, repr=False)
 
     def resolved_sampling_rate(self, num_nodes: int) -> float:
@@ -115,6 +121,8 @@ class PipelineResult:
         preprocessing_seconds: sampling (+ projection) wall time.
         training_seconds: total Algorithm 2 wall time.
         stage1_count / stage2_count: dual-stage split (0/0 for naive).
+        sampling_stats: the sampling engine's counters (worker count,
+            walks attempted / failed / cap-rejected, per-stage wall time).
     """
 
     num_subgraphs: int
@@ -128,6 +136,7 @@ class PipelineResult:
     training_seconds: float
     stage1_count: int = 0
     stage2_count: int = 0
+    sampling_stats: SamplingStats | None = None
 
 
 class _BasePipeline:
@@ -146,8 +155,10 @@ class _BasePipeline:
         ) = spawn_rngs(ensure_rng(self.config.rng), 3)
 
     # subclasses implement ------------------------------------------------
-    def _sample(self, graph: Graph) -> tuple[SubgraphContainer, int, int, int]:
-        """Return (container, bound N_g, stage1_count, stage2_count)."""
+    def _sample(
+        self, graph: Graph
+    ) -> tuple[SubgraphContainer, int, int, int, SamplingStats]:
+        """Return (container, bound N_g, stage1_count, stage2_count, stats)."""
         raise NotImplementedError
 
     # ---------------------------------------------------------------------
@@ -155,7 +166,7 @@ class _BasePipeline:
         """Sample subgraphs, calibrate noise, and train the private GNN."""
         config = self.config
         started = time.perf_counter()
-        container, max_occurrences, stage1, stage2 = self._sample(graph)
+        container, max_occurrences, stage1, stage2, sampling_stats = self._sample(graph)
         preprocessing_seconds = time.perf_counter() - started
 
         if len(container) == 0:
@@ -219,6 +230,7 @@ class _BasePipeline:
             training_seconds=history.total_seconds,
             stage1_count=stage1,
             stage2_count=stage2,
+            sampling_stats=sampling_stats,
         )
         return self.result
 
@@ -240,7 +252,9 @@ class PrivIM(_BasePipeline):
 
     method_name = "PrivIM"
 
-    def _sample(self, graph: Graph) -> tuple[SubgraphContainer, int, int, int]:
+    def _sample(
+        self, graph: Graph
+    ) -> tuple[SubgraphContainer, int, int, int, SamplingStats]:
         config = self.config
         sampling = NaiveSamplingConfig(
             theta=config.theta,
@@ -249,10 +263,11 @@ class PrivIM(_BasePipeline):
             sampling_rate=config.resolved_sampling_rate(graph.num_nodes),
             walk_length=config.walk_length,
             restart_probability=config.restart_probability,
+            workers=config.workers,
         )
-        container, _projected = extract_subgraphs_naive(graph, sampling, self._sampling_rng)
+        run = sample_naive(graph, sampling, self._sampling_rng)
         bound = max_occurrences_naive(config.theta, config.num_layers)
-        return container, bound, len(container), 0
+        return run.container, bound, len(run.container), 0, run.stats
 
 
 class PrivIMStar(_BasePipeline):
@@ -274,7 +289,9 @@ class PrivIMStar(_BasePipeline):
         if not self.include_boundary:
             self.method_name = "PrivIM+SCS"
 
-    def _sample(self, graph: Graph) -> tuple[SubgraphContainer, int, int, int]:
+    def _sample(
+        self, graph: Graph
+    ) -> tuple[SubgraphContainer, int, int, int, SamplingStats]:
         config = self.config
         sampling = DualStageSamplingConfig(
             subgraph_size=config.subgraph_size,
@@ -285,10 +302,11 @@ class PrivIMStar(_BasePipeline):
             restart_probability=config.restart_probability,
             boundary_divisor=config.boundary_divisor,
             include_boundary=self.include_boundary,
+            workers=config.workers,
         )
-        result = extract_subgraphs_dual_stage(graph, sampling, self._sampling_rng)
+        run = sample_dual_stage(graph, sampling, self._sampling_rng)
         bound = max_occurrences_dual_stage(config.threshold)
-        return result.container, bound, result.stage1_count, result.stage2_count
+        return run.container, bound, run.stage1_count, run.stage2_count, run.stats
 
 
 def non_private_config(config: PrivIMConfig) -> PrivIMConfig:

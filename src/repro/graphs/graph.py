@@ -193,6 +193,62 @@ class Graph:
         return np.stack([sources, targets])
 
     # ------------------------------------------------------------------ #
+    # CSR views and reconstruction
+    # ------------------------------------------------------------------ #
+    def out_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The out-direction CSR triple ``(indptr, indices, weights)``.
+
+        These are the graph's internal arrays (views, do not mutate); they
+        are what the parallel sampling engine ships to worker processes so
+        the graph never has to be re-sorted or pickled per task.
+        """
+        return self._out_indptr, self._out_indices, self._out_weights
+
+    def in_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The in-direction CSR triple ``(indptr, indices, weights)``."""
+        return self._in_indptr, self._in_indices, self._in_weights
+
+    @classmethod
+    def from_csr(
+        cls,
+        num_nodes: int,
+        out_csr: tuple[np.ndarray, np.ndarray, np.ndarray],
+        in_csr: tuple[np.ndarray, np.ndarray, np.ndarray],
+        *,
+        directed: bool = True,
+    ) -> "Graph":
+        """Rebuild a graph from prebuilt dual-CSR arrays without re-sorting.
+
+        The arrays are adopted as-is (no copy), so callers must hand over
+        CSR triples they will not mutate — typically the output of
+        :meth:`out_csr` / :meth:`in_csr` of an existing graph, possibly
+        living in shared memory in another process.
+        """
+        out_indptr, out_indices, out_weights = (np.asarray(a) for a in out_csr)
+        in_indptr, in_indices, in_weights = (np.asarray(a) for a in in_csr)
+        if len(out_indptr) != num_nodes + 1 or len(in_indptr) != num_nodes + 1:
+            raise GraphError("CSR indptr arrays must have length num_nodes + 1")
+        if len(out_indices) != len(in_indices):
+            raise GraphError("out/in CSR arrays must describe the same arc set")
+
+        graph = cls.__new__(cls)
+        graph.num_nodes = int(num_nodes)
+        graph.is_directed = bool(directed)
+        graph._undirected_edge_count = 0 if directed else len(out_indices) // 2
+        graph._out_indptr = out_indptr.astype(np.int64, copy=False)
+        graph._out_indices = out_indices.astype(np.int64, copy=False)
+        graph._out_weights = out_weights.astype(np.float64, copy=False)
+        graph._in_indptr = in_indptr.astype(np.int64, copy=False)
+        graph._in_indices = in_indices.astype(np.int64, copy=False)
+        graph._in_weights = in_weights.astype(np.float64, copy=False)
+        graph._sources = np.repeat(
+            np.arange(num_nodes, dtype=np.int64), np.diff(graph._out_indptr)
+        )
+        graph._targets = graph._out_indices.copy()
+        graph._weights_raw = graph._out_weights.copy()
+        return graph
+
+    # ------------------------------------------------------------------ #
     # Derived graphs
     # ------------------------------------------------------------------ #
     def subgraph(self, nodes: Sequence[int] | np.ndarray) -> tuple["Graph", np.ndarray]:

@@ -10,6 +10,13 @@ from repro.sampling.dual_stage import (
     extract_subgraphs_dual_stage,
 )
 from repro.sampling.random_sets import extract_subgraphs_random
+from repro.sampling.parallel import (
+    DualStageRun,
+    NaiveSamplingRun,
+    SamplingStats,
+    sample_dual_stage,
+    sample_naive,
+)
 
 __all__ = [
     "Subgraph",
@@ -23,4 +30,9 @@ __all__ = [
     "DualStageResult",
     "extract_subgraphs_dual_stage",
     "extract_subgraphs_random",
+    "SamplingStats",
+    "NaiveSamplingRun",
+    "DualStageRun",
+    "sample_naive",
+    "sample_dual_stage",
 ]

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.errors import SamplingError
 from repro.sampling.container import SubgraphContainer
+from repro.sampling.parallel import SamplingStats
 
 
 @dataclass(frozen=True)
@@ -107,4 +108,23 @@ def render_diagnostics(diagnostics: ContainerDiagnostics) -> str:
         f"{count}x:{nodes}" for count, nodes in enumerate(diagnostics.occurrence_histogram)
     )
     lines.append(f"occurrence hist  : {occupancy}")
+    return "\n".join(lines)
+
+
+def render_sampling_stats(stats: SamplingStats) -> str:
+    """Human-readable multi-line summary of the engine's counters."""
+    lines = [
+        f"workers          : {stats.workers} (chunk size {stats.chunk_size})",
+        f"starts           : {stats.starts_selected} selected, "
+        f"{stats.starts_skipped} skipped",
+        f"walks            : {stats.walks_attempted} attempted, "
+        f"{stats.walks_failed} failed, {stats.walks_rejected} cap-rejected "
+        f"(cap-hit rate {100 * stats.cap_hit_rate:.1f}%)",
+        f"subgraphs        : {stats.subgraphs_emitted} emitted",
+    ]
+    if stats.stage_seconds:
+        timing = ", ".join(
+            f"{stage} {seconds:.3f}s" for stage, seconds in stats.stage_seconds.items()
+        )
+        lines.append(f"stage wall time  : {timing}")
     return "\n".join(lines)

@@ -14,14 +14,17 @@ counting, the cap — and hence the privacy budget — is unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import SamplingError
 from repro.graphs.graph import Graph
-from repro.sampling.container import Subgraph, SubgraphContainer
-from repro.sampling.frequency import FrequencyVector, frequency_walk
-from repro.utils.rng import ensure_rng
+from repro.sampling.container import SubgraphContainer
+from repro.sampling.frequency import FrequencyVector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.sampling.parallel import SamplingStats
 
 
 @dataclass
@@ -38,6 +41,15 @@ class DualStageSamplingConfig:
         boundary_divisor: ``s`` — stage 2 uses subgraphs of size ``n / s``.
         include_boundary: run stage 2 (disable to get "PrivIM+SCS").
         direction: walk traversal direction.
+        workers: worker processes for the sampling engine.  ``1`` (default)
+            runs serially in-process and is the reference oracle; ``0``
+            means one worker per CPU.  Any value produces bit-identical
+            output for a fixed seed (see :mod:`repro.sampling.parallel`).
+        chunk_size: start nodes per frequency-snapshot synchronisation
+            chunk.  Part of the algorithm definition for the dual-stage
+            sampler (walks inside a chunk see the same snapshot), so it
+            must be held fixed when comparing worker counts; larger values
+            expose more parallelism but raise the cap-hit rejection rate.
     """
 
     subgraph_size: int = 40
@@ -49,6 +61,8 @@ class DualStageSamplingConfig:
     boundary_divisor: int = 2
     include_boundary: bool = True
     direction: str = "both"
+    workers: int = 1
+    chunk_size: int = 32
 
     def validate(self) -> None:
         """Raise :class:`SamplingError` on out-of-range parameters."""
@@ -68,6 +82,10 @@ class DualStageSamplingConfig:
             raise SamplingError(
                 f"boundary_divisor s must be >= 1, got {self.boundary_divisor}"
             )
+        if self.workers < 0:
+            raise SamplingError(f"workers must be >= 0, got {self.workers}")
+        if self.chunk_size < 1:
+            raise SamplingError(f"chunk_size must be >= 1, got {self.chunk_size}")
 
     @property
     def boundary_subgraph_size(self) -> int:
@@ -84,59 +102,16 @@ class DualStageResult:
         frequency: final frequency vector (indexed by original node id).
         stage1_count: subgraphs from SCS.
         stage2_count: subgraphs from BES.
+        stats: engine counters (walks attempted / failed / cap-rejected,
+            per-stage wall time) — see
+            :class:`repro.sampling.parallel.SamplingStats`.
     """
 
     container: SubgraphContainer
     frequency: FrequencyVector
     stage1_count: int
     stage2_count: int
-
-
-def _frequency_sampling_pass(
-    graph: Graph,
-    frequency: FrequencyVector,
-    node_ids: np.ndarray,
-    subgraph_size: int,
-    config: DualStageSamplingConfig,
-    generator: np.random.Generator,
-    source_graph: Graph,
-) -> SubgraphContainer:
-    """One ``FreqSampling`` pass (Algorithm 3, lines 9–28).
-
-    ``graph`` is the graph walked on (original or residual) with *local*
-    ids; ``node_ids[i]`` maps local node ``i`` back to the original id the
-    frequency vector uses.  ``source_graph`` provides the edges for the
-    emitted subgraphs (identical to ``graph`` in stage 1).
-    """
-    container = SubgraphContainer()
-    local_frequency = FrequencyVector(graph.num_nodes, frequency.threshold)
-    local_frequency.counts = frequency.counts[node_ids].copy()
-
-    for local_node in range(graph.num_nodes):
-        if generator.random() >= config.sampling_rate:
-            continue
-        if local_frequency.is_saturated(local_node):
-            continue
-        nodes = frequency_walk(
-            graph,
-            local_frequency,
-            local_node,
-            subgraph_size,
-            walk_length=config.walk_length,
-            restart_probability=config.restart_probability,
-            decay=config.decay,
-            rng=generator,
-            direction=config.direction,
-        )
-        if nodes is None:
-            continue
-        local_nodes = np.asarray(nodes, dtype=np.int64)
-        original_nodes = node_ids[local_nodes]
-        subgraph, _ = source_graph.subgraph(original_nodes)
-        container.add(Subgraph(subgraph, original_nodes))
-        local_frequency.record_subgraph(local_nodes)
-        frequency.record_subgraph(original_nodes)
-    return container
+    stats: "SamplingStats | None" = None
 
 
 def extract_subgraphs_dual_stage(
@@ -148,45 +123,19 @@ def extract_subgraphs_dual_stage(
 
     Returns a :class:`DualStageResult`; the occurrence of every node across
     ``result.container`` is guaranteed ≤ ``config.threshold`` (this is the
-    invariant the privacy analysis needs, and the frequency vector enforces
-    it with hard errors rather than clipping).
+    invariant the privacy analysis needs, and both the coordinator's cap
+    validation and the frequency vector enforce it with hard errors rather
+    than clipping).  Both stages run on the chunk-synchronous engine in
+    :mod:`repro.sampling.parallel`, so the result is bit-identical for any
+    ``config.workers`` value under a fixed seed.
     """
-    config = config or DualStageSamplingConfig()
-    config.validate()
-    generator = ensure_rng(rng)
+    from repro.sampling.parallel import sample_dual_stage
 
-    frequency = FrequencyVector(graph.num_nodes, config.threshold)
-    all_nodes = np.arange(graph.num_nodes, dtype=np.int64)
-
-    # Stage 1 — Sensitivity-Constrained Sampling on the original graph.
-    stage1 = _frequency_sampling_pass(
-        graph, frequency, all_nodes, config.subgraph_size, config, generator, graph
-    )
-
-    container = SubgraphContainer()
-    container.extend(stage1)
-    stage2_count = 0
-
-    if config.include_boundary:
-        # Stage 2 — Boundary-Enhanced Sampling on the residual graph.
-        remaining = frequency.available_nodes()
-        if len(remaining) >= config.boundary_subgraph_size:
-            residual, node_ids = graph.subgraph(remaining)
-            stage2 = _frequency_sampling_pass(
-                residual,
-                frequency,
-                node_ids,
-                config.boundary_subgraph_size,
-                config,
-                generator,
-                graph,
-            )
-            stage2_count = len(stage2)
-            container.extend(stage2)
-
+    run = sample_dual_stage(graph, config or DualStageSamplingConfig(), rng)
     return DualStageResult(
-        container=container,
-        frequency=frequency,
-        stage1_count=len(stage1),
-        stage2_count=stage2_count,
+        container=run.container,
+        frequency=run.frequency,
+        stage1_count=run.stage1_count,
+        stage2_count=run.stage2_count,
+        stats=run.stats,
     )

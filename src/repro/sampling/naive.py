@@ -14,12 +14,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SamplingError
-from repro.graphs.degree import project_in_degree
 from repro.graphs.graph import Graph
-from repro.graphs.neighborhoods import k_hop_nodes
-from repro.sampling.container import Subgraph, SubgraphContainer
-from repro.sampling.random_walk import random_walk_nodes
-from repro.utils.rng import ensure_rng
+from repro.sampling.container import SubgraphContainer
 
 
 @dataclass
@@ -43,6 +39,12 @@ class NaiveSamplingConfig:
             occurrence bound (ancestor counts through out-edges are
             unbounded) — use it only with the dual-stage sampler, whose
             frequency cap enforces the bound directly.
+        workers: worker processes for the sampling engine.  ``1`` (default)
+            runs serially in-process and is the reference oracle; ``0``
+            means one worker per CPU.  Any value produces bit-identical
+            output for a fixed seed (see :mod:`repro.sampling.parallel`).
+        chunk_size: start nodes per scheduling chunk.  Purely a scheduling
+            knob for the naive sampler; results do not depend on it.
     """
 
     theta: int = 10
@@ -52,6 +54,8 @@ class NaiveSamplingConfig:
     walk_length: int = 200
     restart_probability: float = 0.3
     direction: str = "out"
+    workers: int = 1
+    chunk_size: int = 32
 
     def validate(self) -> None:
         """Raise :class:`SamplingError` on out-of-range parameters."""
@@ -67,6 +71,10 @@ class NaiveSamplingConfig:
             raise SamplingError(f"walk_length must be >= 1, got {self.walk_length}")
         if not 0.0 <= self.restart_probability < 1.0:
             raise SamplingError("restart_probability must be in [0, 1)")
+        if self.workers < 0:
+            raise SamplingError(f"workers must be >= 0, got {self.workers}")
+        if self.chunk_size < 1:
+            raise SamplingError(f"chunk_size must be >= 1, got {self.chunk_size}")
 
 
 def extract_subgraphs_naive(
@@ -78,33 +86,10 @@ def extract_subgraphs_naive(
 
     The projected graph is returned as well because training must present
     the same θ-bounded topology to the GNN that the sensitivity analysis
-    assumed.
+    assumed.  Use :func:`repro.sampling.parallel.sample_naive` directly to
+    also get the engine's :class:`~repro.sampling.parallel.SamplingStats`.
     """
-    config = config or NaiveSamplingConfig()
-    config.validate()
-    generator = ensure_rng(rng)
+    from repro.sampling.parallel import sample_naive
 
-    projected = project_in_degree(graph, config.theta, generator)
-    container = SubgraphContainer()
-
-    for node in range(projected.num_nodes):
-        if generator.random() >= config.sampling_rate:
-            continue
-        ball = k_hop_nodes(projected, node, config.hops, direction=config.direction)
-        if len(ball) < config.subgraph_size:
-            continue  # the r-hop ball cannot yield n unique nodes
-        nodes = random_walk_nodes(
-            projected,
-            node,
-            config.subgraph_size,
-            walk_length=config.walk_length,
-            restart_probability=config.restart_probability,
-            rng=generator,
-            allowed=ball,
-            direction=config.direction,
-        )
-        if nodes is None:
-            continue
-        subgraph, node_map = projected.subgraph(nodes)
-        container.add(Subgraph(subgraph, node_map))
-    return container, projected
+    run = sample_naive(graph, config or NaiveSamplingConfig(), rng)
+    return run.container, run.projected

@@ -8,6 +8,8 @@ both to a ``Generator`` so results are reproducible end to end.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 
@@ -40,6 +42,51 @@ def spawn_rngs(rng: int | np.random.Generator | None, count: int) -> list[np.ran
     parent = ensure_rng(rng)
     seeds = parent.integers(0, 2**63 - 1, size=count)
     return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def derive_root_entropy(rng: int | np.random.Generator | None = None) -> int:
+    """Draw a 63-bit root entropy value for a per-item seed stream.
+
+    The parallel sampling engine needs one independent generator per start
+    node whose stream does not depend on scheduling order.  Consuming a
+    single integer from the master generator and deriving children with
+    :func:`child_generator` gives exactly that: the master stream advances
+    by one draw regardless of how many children are spawned, and every
+    child is a pure function of ``(root_entropy, key)``.
+    """
+    return int(ensure_rng(rng).integers(0, 2**63 - 1))
+
+
+def child_generator(root_entropy: int, *key: int) -> np.random.Generator:
+    """Deterministic child generator for ``key`` under ``root_entropy``.
+
+    Built on ``numpy.random.SeedSequence`` spawn keys, so children for
+    distinct keys are statistically independent and identical across
+    processes — the property the serial-vs-parallel equivalence guarantee
+    rests on.
+    """
+    sequence = np.random.SeedSequence(
+        entropy=int(root_entropy), spawn_key=tuple(int(k) for k in key)
+    )
+    return np.random.default_rng(sequence)
+
+
+def bench_seed() -> int:
+    """The benchmark suite's shared master seed.
+
+    Benches must derive all randomness from this helper (or
+    :func:`bench_rng`) instead of ad-hoc literals, so that serial and
+    parallel timings of the same workload sample the same graphs and
+    walks.  Overridable via the ``REPRO_BENCH_SEED`` environment variable.
+    """
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def bench_rng(seed: int | None = None) -> np.random.Generator:
+    """A fresh generator seeded with :func:`bench_seed` (or ``seed``)."""
+    if seed is None:
+        seed = bench_seed()
+    return ensure_rng(int(seed))
 
 
 class RngMixin:

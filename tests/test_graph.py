@@ -184,3 +184,88 @@ class TestDenseExport:
 
     def test_repr(self, tiny_graph):
         assert "num_nodes=5" in repr(tiny_graph)
+
+
+class TestCSRView:
+    """The CSR views (shipped to sampling workers) must agree with the
+    adjacency iteration the rest of the library uses."""
+
+    def _assert_csr_matches_adjacency(self, graph):
+        out_indptr, out_indices, out_weights = graph.out_csr()
+        in_indptr, in_indices, in_weights = graph.in_csr()
+        assert len(out_indptr) == graph.num_nodes + 1
+        assert len(in_indptr) == graph.num_nodes + 1
+        assert out_indptr[-1] == len(out_indices) == graph.num_edges
+        assert in_indptr[-1] == len(in_indices) == graph.num_edges
+        for node in range(graph.num_nodes):
+            np.testing.assert_array_equal(
+                out_indices[out_indptr[node] : out_indptr[node + 1]],
+                graph.out_neighbors(node),
+            )
+            np.testing.assert_array_equal(
+                in_indices[in_indptr[node] : in_indptr[node + 1]],
+                graph.in_neighbors(node),
+            )
+            np.testing.assert_array_equal(
+                out_weights[out_indptr[node] : out_indptr[node + 1]],
+                graph.out_weights(node),
+            )
+            np.testing.assert_array_equal(
+                in_weights[in_indptr[node] : in_indptr[node + 1]],
+                graph.in_weights(node),
+            )
+        # The CSR views are exactly the arcs edges() iterates.
+        from_csr = [
+            (int(u), int(v), float(w))
+            for u in range(graph.num_nodes)
+            for v, w in zip(
+                out_indices[out_indptr[u] : out_indptr[u + 1]],
+                out_weights[out_indptr[u] : out_indptr[u + 1]],
+            )
+        ]
+        assert from_csr == list(graph.edges())
+
+    def test_directed_graph(self, tiny_graph):
+        self._assert_csr_matches_adjacency(tiny_graph)
+
+    def test_weighted_graph(self, weighted_graph):
+        self._assert_csr_matches_adjacency(weighted_graph)
+
+    def test_undirected_graph(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)], directed=False)
+        self._assert_csr_matches_adjacency(graph)
+
+    def test_empty_graph(self):
+        self._assert_csr_matches_adjacency(Graph(3, []))
+
+    def test_from_csr_round_trip(self, weighted_graph):
+        rebuilt = Graph.from_csr(
+            weighted_graph.num_nodes,
+            weighted_graph.out_csr(),
+            weighted_graph.in_csr(),
+            directed=weighted_graph.is_directed,
+        )
+        assert rebuilt == weighted_graph
+        assert rebuilt.is_directed == weighted_graph.is_directed
+        np.testing.assert_array_equal(rebuilt.in_degrees(), weighted_graph.in_degrees())
+        assert list(rebuilt.edges()) == list(weighted_graph.edges())
+        # Derived operations keep working on a rebuilt graph.
+        sub, node_map = rebuilt.subgraph([0, 1, 3])
+        assert sub.num_nodes == 3
+
+    def test_from_csr_round_trip_undirected(self):
+        graph = Graph(4, [(0, 1), (1, 2)], directed=False)
+        rebuilt = Graph.from_csr(
+            graph.num_nodes, graph.out_csr(), graph.in_csr(), directed=False
+        )
+        assert rebuilt == graph
+        assert rebuilt.num_undirected_edges == 2
+
+    def test_from_csr_validates_shapes(self, tiny_graph):
+        out_csr = tiny_graph.out_csr()
+        in_csr = tiny_graph.in_csr()
+        with pytest.raises(GraphError):
+            Graph.from_csr(tiny_graph.num_nodes + 1, out_csr, in_csr)
+        bad_in = (in_csr[0], in_csr[1][:-1], in_csr[2][:-1])
+        with pytest.raises(GraphError):
+            Graph.from_csr(tiny_graph.num_nodes, out_csr, bad_in)

@@ -1,0 +1,122 @@
+"""Property tests for the occurrence bounds the privacy accounting rests on.
+
+Lemma 1: the naive sampler (Algorithm 1, out-directed walks on the
+θ-in-bounded graph) never lets a node join more than ``N_g = Σ_{i=0..r} θ^i``
+subgraphs.  Algorithm 3's frequency cap gives the hard bound ``N_g* = M``.
+These invariants must hold for *every* graph, config, and seed — and, after
+the parallel refactor, for every worker count — so hypothesis drives random
+graphs and configs through both the serial and the parallel engines.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dp.sensitivity import max_occurrences_dual_stage, max_occurrences_naive
+from repro.graphs.graph import Graph
+from repro.sampling.dual_stage import (
+    DualStageSamplingConfig,
+    extract_subgraphs_dual_stage,
+)
+from repro.sampling.naive import NaiveSamplingConfig, extract_subgraphs_naive
+
+
+def random_graph(seed: int, num_nodes: int, num_edges: int) -> Graph:
+    rng = np.random.default_rng(seed)
+    pairs = rng.integers(0, num_nodes, size=(num_edges, 2))
+    edges = sorted({(int(u), int(v)) for u, v in pairs if u != v})
+    return Graph(num_nodes, np.asarray(edges or [(0, 1 % num_nodes)], dtype=np.int64))
+
+
+graph_params = st.tuples(
+    st.integers(0, 10_000),  # seed
+    st.integers(2, 70),      # nodes
+    st.integers(1, 220),     # edge draws
+)
+
+
+class TestNaiveOccurrenceBound:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        params=graph_params,
+        theta=st.integers(1, 8),
+        hops=st.integers(1, 3),
+        subgraph_size=st.integers(2, 10),
+        workers=st.sampled_from([1, 2]),
+    )
+    def test_lemma1_holds_for_all_engines(
+        self, params, theta, hops, subgraph_size, workers
+    ):
+        seed, num_nodes, num_edges = params
+        graph = random_graph(seed, num_nodes, num_edges)
+        config = NaiveSamplingConfig(
+            theta=theta,
+            subgraph_size=subgraph_size,
+            hops=hops,
+            sampling_rate=1.0,
+            walk_length=120,
+            workers=workers,
+            chunk_size=8,
+        )
+        container, projected = extract_subgraphs_naive(graph, config, rng=seed)
+        bound = max_occurrences_naive(theta, hops)
+        assert container.max_occurrence(graph.num_nodes) <= bound
+        assert projected.in_degrees().max(initial=0) <= theta
+
+
+class TestDualStageOccurrenceBound:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        params=graph_params,
+        threshold=st.integers(1, 5),
+        subgraph_size=st.integers(2, 12),
+        decay=st.floats(0.0, 3.0),
+        chunk_size=st.integers(1, 64),
+        workers=st.sampled_from([1, 2]),
+    )
+    def test_cap_m_holds_for_all_engines(
+        self, params, threshold, subgraph_size, decay, chunk_size, workers
+    ):
+        seed, num_nodes, num_edges = params
+        graph = random_graph(seed, num_nodes, num_edges)
+        config = DualStageSamplingConfig(
+            subgraph_size=subgraph_size,
+            threshold=threshold,
+            decay=decay,
+            sampling_rate=1.0,
+            walk_length=120,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
+        result = extract_subgraphs_dual_stage(graph, config, rng=seed)
+        bound = max_occurrences_dual_stage(threshold)
+        assert result.container.max_occurrence(graph.num_nodes) <= bound
+        assert result.frequency.max_frequency() <= threshold
+        # The container and the frequency vector must agree exactly — the
+        # accountant trusts the vector, the model trains on the container.
+        np.testing.assert_array_equal(
+            result.container.occurrence_counts(graph.num_nodes),
+            result.frequency.counts,
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(params=graph_params, threshold=st.integers(1, 4))
+    def test_rejected_walks_never_leak_into_the_pool(self, params, threshold):
+        """Cap-rejected proposals must leave no trace in the output: every
+        emitted subgraph respects M even when the rejection path fires."""
+        seed, num_nodes, num_edges = params
+        graph = random_graph(seed, num_nodes, num_edges)
+        config = DualStageSamplingConfig(
+            subgraph_size=4,
+            threshold=threshold,
+            sampling_rate=1.0,
+            walk_length=80,
+            chunk_size=64,  # large chunks -> maximally stale snapshots
+        )
+        result = extract_subgraphs_dual_stage(graph, config, rng=seed)
+        stats = result.stats
+        assert stats.subgraphs_emitted == len(result.container)
+        assert result.container.max_occurrence(graph.num_nodes) <= threshold
+        # Accounting identity: every attempted walk is settled exactly once.
+        assert stats.walks_attempted == (
+            stats.walks_failed + stats.walks_rejected + stats.subgraphs_emitted
+        )

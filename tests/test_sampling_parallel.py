@@ -1,0 +1,220 @@
+"""Serial-vs-parallel equivalence tests for the sampling engine.
+
+The contract of :mod:`repro.sampling.parallel` is that ``workers`` is a
+pure throughput knob: for a fixed seed, every worker count produces a
+bit-identical :class:`SubgraphContainer` (same subgraphs, same order, same
+node maps, same edges).  ``workers=1`` is the serial reference oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.graphs.graph import Graph
+from repro.sampling.dual_stage import (
+    DualStageSamplingConfig,
+    extract_subgraphs_dual_stage,
+)
+from repro.sampling.naive import NaiveSamplingConfig, extract_subgraphs_naive
+from repro.sampling.parallel import (
+    SamplingStats,
+    resolve_workers,
+    sample_dual_stage,
+    sample_naive,
+)
+
+WORKER_COUNTS = [1, 2, 4]
+
+
+def assert_containers_identical(first, second):
+    """Bit-level equality of two subgraph containers."""
+    assert len(first) == len(second)
+    for a, b in zip(first, second):
+        np.testing.assert_array_equal(a.node_map, b.node_map)
+        assert a.graph == b.graph
+
+
+class TestNaiveEquivalence:
+    @pytest.fixture
+    def reference(self, clustered_graph):
+        config = NaiveSamplingConfig(
+            subgraph_size=8, sampling_rate=0.5, walk_length=300, workers=1
+        )
+        container, projected = extract_subgraphs_naive(clustered_graph, config, rng=7)
+        assert len(container) > 0
+        return container, projected
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_bit_identical_across_worker_counts(
+        self, clustered_graph, reference, workers
+    ):
+        config = NaiveSamplingConfig(
+            subgraph_size=8, sampling_rate=0.5, walk_length=300, workers=workers
+        )
+        container, projected = extract_subgraphs_naive(clustered_graph, config, rng=7)
+        assert_containers_identical(container, reference[0])
+        assert projected == reference[1]
+
+    def test_stats_identical_across_worker_counts(self, clustered_graph):
+        runs = [
+            sample_naive(
+                clustered_graph,
+                NaiveSamplingConfig(subgraph_size=8, sampling_rate=0.5, workers=w),
+                rng=3,
+            )
+            for w in (1, 4)
+        ]
+        serial, parallel = runs
+        assert parallel.stats.walks_attempted == serial.stats.walks_attempted
+        assert parallel.stats.walks_failed == serial.stats.walks_failed
+        assert parallel.stats.starts_selected == serial.stats.starts_selected
+        assert parallel.stats.subgraphs_emitted == len(parallel.container)
+
+
+class TestDualStageEquivalence:
+    @pytest.fixture
+    def reference(self, clustered_graph):
+        config = DualStageSamplingConfig(
+            subgraph_size=10, threshold=3, sampling_rate=1.0, walk_length=300, workers=1
+        )
+        result = extract_subgraphs_dual_stage(clustered_graph, config, rng=7)
+        assert len(result.container) > 0
+        return result
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_bit_identical_across_worker_counts(
+        self, clustered_graph, reference, workers
+    ):
+        config = DualStageSamplingConfig(
+            subgraph_size=10,
+            threshold=3,
+            sampling_rate=1.0,
+            walk_length=300,
+            workers=workers,
+        )
+        result = extract_subgraphs_dual_stage(clustered_graph, config, rng=7)
+        assert_containers_identical(result.container, reference.container)
+        assert result.stage1_count == reference.stage1_count
+        assert result.stage2_count == reference.stage2_count
+        np.testing.assert_array_equal(
+            result.frequency.counts, reference.frequency.counts
+        )
+
+    def test_validation_counters_identical(self, clustered_graph):
+        configs = [
+            DualStageSamplingConfig(
+                subgraph_size=10, threshold=2, sampling_rate=1.0, workers=w
+            )
+            for w in (1, 2)
+        ]
+        serial = sample_dual_stage(clustered_graph, configs[0], rng=11).stats
+        parallel = sample_dual_stage(clustered_graph, configs[1], rng=11).stats
+        assert parallel.walks_attempted == serial.walks_attempted
+        assert parallel.walks_rejected == serial.walks_rejected
+        assert parallel.starts_skipped == serial.starts_skipped
+        assert parallel.cap_hit_rate == serial.cap_hit_rate
+
+    def test_chunk_size_is_part_of_the_algorithm(self, clustered_graph):
+        """Worker counts must be compared at a fixed chunk size; the chunk
+        size itself (snapshot granularity) may change which walks win."""
+        small = DualStageSamplingConfig(
+            subgraph_size=10, threshold=3, sampling_rate=1.0, chunk_size=1
+        )
+        result = extract_subgraphs_dual_stage(clustered_graph, small, rng=7)
+        # chunk_size=1 refreshes the snapshot before every walk, so no
+        # proposal can ever be stale enough to get cap-rejected.
+        assert result.stats.walks_rejected == 0
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_empty_graph(self, workers):
+        graph = Graph(0, [])
+        container, _ = extract_subgraphs_naive(
+            graph, NaiveSamplingConfig(workers=workers), rng=0
+        )
+        assert len(container) == 0
+        result = extract_subgraphs_dual_stage(
+            graph, DualStageSamplingConfig(workers=workers), rng=0
+        )
+        assert len(result.container) == 0
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_single_node_graph(self, workers):
+        graph = Graph(1, [])
+        naive = NaiveSamplingConfig(
+            subgraph_size=1, sampling_rate=1.0, workers=workers
+        )
+        container, _ = extract_subgraphs_naive(graph, naive, rng=0)
+        assert len(container) == 1
+        assert container[0].node_map.tolist() == [0]
+
+        dual = DualStageSamplingConfig(
+            subgraph_size=1, sampling_rate=1.0, workers=workers
+        )
+        result = extract_subgraphs_dual_stage(graph, dual, rng=0)
+        assert result.container.max_occurrence(1) <= dual.threshold
+
+    def test_workers_exceed_start_nodes(self, tiny_graph):
+        """More workers than start nodes must neither hang nor diverge."""
+        reference = extract_subgraphs_dual_stage(
+            tiny_graph,
+            DualStageSamplingConfig(subgraph_size=2, sampling_rate=1.0, workers=1),
+            rng=5,
+        )
+        flooded = extract_subgraphs_dual_stage(
+            tiny_graph,
+            DualStageSamplingConfig(subgraph_size=2, sampling_rate=1.0, workers=8),
+            rng=5,
+        )
+        assert_containers_identical(flooded.container, reference.container)
+
+    def test_workers_zero_means_auto(self):
+        assert resolve_workers(0) >= 1
+        with pytest.raises(SamplingError):
+            resolve_workers(-1)
+
+    def test_config_validation(self):
+        with pytest.raises(SamplingError):
+            NaiveSamplingConfig(workers=-1).validate()
+        with pytest.raises(SamplingError):
+            NaiveSamplingConfig(chunk_size=0).validate()
+        with pytest.raises(SamplingError):
+            DualStageSamplingConfig(workers=-2).validate()
+        with pytest.raises(SamplingError):
+            DualStageSamplingConfig(chunk_size=0).validate()
+
+
+class TestStats:
+    def test_cap_hit_rate_zero_when_no_walks(self):
+        assert SamplingStats().cap_hit_rate == 0.0
+
+    def test_accounting_is_consistent(self, clustered_graph):
+        run = sample_dual_stage(
+            clustered_graph,
+            DualStageSamplingConfig(subgraph_size=10, threshold=2, sampling_rate=1.0),
+            rng=0,
+        )
+        stats = run.stats
+        assert stats.starts_selected == (
+            stats.starts_skipped + stats.walks_attempted
+        )
+        assert stats.walks_attempted == (
+            stats.walks_failed + stats.walks_rejected + stats.subgraphs_emitted
+        )
+        assert stats.subgraphs_emitted == len(run.container)
+        assert "stage1" in stats.stage_seconds
+        assert stats.total_seconds >= 0.0
+
+    def test_render_sampling_stats(self, clustered_graph):
+        from repro.sampling.diagnostics import render_sampling_stats
+
+        run = sample_dual_stage(
+            clustered_graph,
+            DualStageSamplingConfig(subgraph_size=10, threshold=3, sampling_rate=0.8),
+            rng=0,
+        )
+        text = render_sampling_stats(run.stats)
+        assert "cap-hit rate" in text
+        assert "workers" in text
+        assert "stage wall time" in text
