@@ -50,7 +50,15 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--workers", type=int, default=1,
                        help="sampling worker processes (1=serial, 0=one per CPU); "
                             "results are bit-identical for any value")
-    train.add_argument("--save", help="checkpoint path (.npz)")
+    train.add_argument("--save", help="model-only checkpoint path (.npz)")
+    train.add_argument("--checkpoint",
+                       help="crash-safe training-state checkpoint path; resume "
+                            "with --resume is bit-identical to an uninterrupted run")
+    train.add_argument("--checkpoint-every", type=int, default=None,
+                       help="iterations between training checkpoints "
+                            "(default 1 when --checkpoint is set)")
+    train.add_argument("--resume", action="store_true",
+                       help="restore --checkpoint before training if it exists")
 
     seeds = commands.add_parser("seeds", help="select seeds with a checkpoint")
     seeds.add_argument("checkpoint")
@@ -89,8 +97,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_train(args: argparse.Namespace) -> int:
+    if (args.resume or args.checkpoint_every is not None) and not args.checkpoint:
+        print("--resume/--checkpoint-every require --checkpoint", file=sys.stderr)
+        return 2
     graph = load_dataset(args.dataset, scale=args.scale)
     train_graph, test_graph = split_graph(graph, 0.5, rng=args.seed)
+    checkpoint_every = args.checkpoint_every
+    if args.checkpoint and checkpoint_every is None:
+        checkpoint_every = 1
     config = PrivIMConfig(
         epsilon=args.epsilon if args.epsilon > 0 else None,
         model=args.model,
@@ -98,6 +112,9 @@ def _command_train(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         iterations=args.iterations,
         workers=args.workers,
+        checkpoint_every=checkpoint_every if args.checkpoint else None,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
         rng=args.seed,
     )
     if args.method == "privim":
@@ -123,6 +140,9 @@ def _command_train(args: argparse.Namespace) -> int:
     print(f"achieved eps   : {result.epsilon:.4f} (delta={result.delta:.2e})")
     print(f"spread@k={k:<4} : {spread}  (CELF {celf_spread}, "
           f"ratio {coverage_ratio(spread, celf_spread):.1f}%)")
+    if args.checkpoint:
+        print(f"train ckpt     : {args.checkpoint}"
+              f"{' (resumed)' if args.resume else ''}")
     if args.save:
         save_model(pipeline.model, args.save)
         print(f"checkpoint     : {args.save}")

@@ -11,6 +11,13 @@ from repro.core.trainer import (
     TrainingHistory,
     suggest_clip_bound,
 )
+from repro.core.checkpoint import (
+    load_model,
+    load_training_checkpoint,
+    normalize_checkpoint_path,
+    save_model,
+    save_training_checkpoint,
+)
 from repro.core.seed_selection import score_nodes, select_top_k_seeds
 from repro.core.pipeline import (
     PipelineResult,
@@ -34,6 +41,11 @@ __all__ = [
     "DPGNNTrainer",
     "TrainingHistory",
     "suggest_clip_bound",
+    "save_model",
+    "load_model",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
+    "normalize_checkpoint_path",
     "score_nodes",
     "select_top_k_seeds",
     "PrivIMConfig",

@@ -1,12 +1,30 @@
-"""Model checkpointing.
+"""Model and training-state checkpointing.
 
-State dicts are plain ``{name: ndarray}`` mappings, so checkpoints are
-``numpy.savez`` archives plus a small JSON header describing the
-architecture — enough to rebuild the exact model without pickling code.
+Two layers:
+
+* :func:`save_model` / :func:`load_model` — weights-only model archives.
+  State dicts are plain ``{name: ndarray}`` mappings, so checkpoints are
+  ``numpy.savez`` archives plus a small JSON header describing the
+  architecture — enough to rebuild the exact model without pickling code.
+
+* :func:`save_training_checkpoint` / :func:`load_training_checkpoint` —
+  full crash-safe training state for
+  :meth:`repro.core.trainer.DPGNNTrainer.state_dict`: model weights,
+  optimizer buffers, both trainer RNG streams, the privacy accountant's
+  step count, scheduler progress, and the per-iteration history.  The file
+  is written atomically (temp file + fsync + rename) and prefixed with a
+  SHA-256 checksum line, so a process killed mid-write never corrupts the
+  previous checkpoint, and a truncated or bit-flipped file is rejected
+  with a clean :class:`~repro.errors.TrainingError` instead of a numpy
+  traceback.  This is what makes resume indistinguishable from never
+  having stopped — including the accountant's ε, which would otherwise be
+  silently under-reported after a weights-only restart.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
 import os
 
@@ -17,8 +35,27 @@ from repro.gnn.models import GNN, GNNConfig
 
 
 _HEADER_KEY = "__repro_model_config__"
+_TRAINING_HEADER_KEY = "__repro_training_state__"
+_MAGIC = b"REPRO-CKPT-v1"
 
 
+def normalize_checkpoint_path(path: str | os.PathLike) -> str:
+    """Append ``.npz`` when missing, so save and load agree on the filename.
+
+    ``numpy.savez`` silently appends ``.npz`` to extensionless paths, so
+    without this ``save_model(m, "ckpt")`` would write ``ckpt.npz`` while
+    ``load_model("ckpt")`` looked for ``ckpt`` and raised
+    ``FileNotFoundError``.
+    """
+    text = os.fspath(path)
+    if not text.endswith(".npz"):
+        text += ".npz"
+    return text
+
+
+# --------------------------------------------------------------------- #
+# Weights-only model checkpoints
+# --------------------------------------------------------------------- #
 def save_model(model: GNN, path: str | os.PathLike) -> None:
     """Save a GNN's architecture + weights to an ``.npz`` archive."""
     header = json.dumps(
@@ -32,12 +69,19 @@ def save_model(model: GNN, path: str | os.PathLike) -> None:
     )
     payload = dict(model.state_dict())
     payload[_HEADER_KEY] = np.frombuffer(header.encode("utf-8"), dtype=np.uint8)
-    np.savez(path, **payload)
+    np.savez(normalize_checkpoint_path(path), **payload)
 
 
 def load_model(path: str | os.PathLike) -> GNN:
     """Rebuild a GNN saved by :func:`save_model` (architecture + weights)."""
-    with np.load(path) as archive:
+    path = normalize_checkpoint_path(path)
+    try:
+        archive = np.load(path)
+    except FileNotFoundError:
+        raise TrainingError(f"no model checkpoint at {path}") from None
+    except Exception as error:
+        raise TrainingError(f"{path} is not a readable model checkpoint: {error}") from error
+    with archive:
         if _HEADER_KEY not in archive:
             raise TrainingError(f"{path} is not a repro model checkpoint")
         header = json.loads(bytes(archive[_HEADER_KEY].tobytes()).decode("utf-8"))
@@ -56,3 +100,166 @@ def load_model(path: str | os.PathLike) -> GNN:
     )
     model.load_state_dict(state)
     return model
+
+
+# --------------------------------------------------------------------- #
+# Full training-state checkpoints
+# --------------------------------------------------------------------- #
+def _atomic_write(path: str, blob: bytes) -> None:
+    """Write ``blob`` to ``path`` via temp file + fsync + rename.
+
+    A crash at any point leaves either the previous file or the new one —
+    never a partial write — because the rename is the single commit point.
+    """
+    temp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(temp_path, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    finally:
+        if os.path.exists(temp_path):
+            try:
+                os.remove(temp_path)
+            except OSError:
+                pass
+    # Best-effort directory fsync so the rename itself survives power loss.
+    try:
+        directory_fd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(directory_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(directory_fd)
+
+
+def save_training_checkpoint(state: dict, path: str | os.PathLike) -> str:
+    """Atomically persist a trainer ``state_dict``; returns the path written.
+
+    Args:
+        state: :meth:`repro.core.trainer.DPGNNTrainer.state_dict` output.
+        path: target file (``.npz`` appended when missing).
+    """
+    path = normalize_checkpoint_path(path)
+    payload: dict[str, np.ndarray] = {}
+    for name, value in state["model"].items():
+        payload[f"model.{name}"] = np.asarray(value)
+
+    optimizer_scalars: dict[str, float | int] = {}
+    optimizer_buffers: dict[str, int] = {}
+    for key, value in state["optimizer"].items():
+        if isinstance(value, (int, float)):
+            optimizer_scalars[key] = value
+        else:
+            optimizer_buffers[key] = len(value)
+            for index, item in enumerate(value):
+                payload[f"optimizer.{key}.{index}"] = np.asarray(item)
+
+    history = state.get("history", {})
+    for key, series in history.items():
+        payload[f"history.{key}"] = np.asarray(series, dtype=np.float64)
+
+    header = {
+        "version": 1,
+        "iteration": int(state["iteration"]),
+        "accountant_steps": int(state.get("accountant_steps", 0)),
+        "batch_rng": state["batch_rng"],
+        "noise_rng": state["noise_rng"],
+        "scheduler": state.get("scheduler"),
+        "fingerprint": state.get("fingerprint"),
+        "optimizer_scalars": optimizer_scalars,
+        "optimizer_buffers": optimizer_buffers,
+        "history_keys": sorted(history),
+    }
+    payload[_TRAINING_HEADER_KEY] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+
+    buffer = io.BytesIO()
+    np.savez(buffer, **payload)
+    data = buffer.getvalue()
+    digest = hashlib.sha256(data).hexdigest()
+    prefix = _MAGIC + f" sha256={digest} size={len(data)}\n".encode("ascii")
+    _atomic_write(path, prefix + data)
+    return path
+
+
+def load_training_checkpoint(path: str | os.PathLike) -> dict:
+    """Read and verify a training checkpoint back into a trainer state dict.
+
+    Raises:
+        TrainingError: if the file is missing, not a training checkpoint,
+            truncated, fails its checksum, or cannot be decoded.
+    """
+    path = normalize_checkpoint_path(path)
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except FileNotFoundError:
+        raise TrainingError(f"no training checkpoint at {path}") from None
+    except OSError as error:
+        raise TrainingError(f"cannot read training checkpoint {path}: {error}") from error
+
+    newline = blob.find(b"\n")
+    if not blob.startswith(_MAGIC + b" ") or newline < 0:
+        raise TrainingError(
+            f"{path} is not a repro training checkpoint "
+            "(model-only archives load with load_model)"
+        )
+    try:
+        fields = dict(
+            part.split(b"=", 1) for part in blob[len(_MAGIC) + 1 : newline].split(b" ")
+        )
+        expected_digest = fields[b"sha256"].decode("ascii")
+        expected_size = int(fields[b"size"])
+    except (KeyError, ValueError) as error:
+        raise TrainingError(f"{path} has a malformed checkpoint header") from error
+
+    data = blob[newline + 1 :]
+    if len(data) != expected_size:
+        raise TrainingError(
+            f"{path} is truncated: header promises {expected_size} payload "
+            f"bytes, file holds {len(data)}"
+        )
+    if hashlib.sha256(data).hexdigest() != expected_digest:
+        raise TrainingError(f"{path} failed its SHA-256 checksum; the file is corrupt")
+
+    try:
+        with np.load(io.BytesIO(data)) as archive:
+            header = json.loads(
+                bytes(archive[_TRAINING_HEADER_KEY].tobytes()).decode("utf-8")
+            )
+            model_state = {
+                key[len("model."):]: archive[key]
+                for key in archive.files
+                if key.startswith("model.")
+            }
+            optimizer_state: dict = dict(header["optimizer_scalars"])
+            for key, count in header["optimizer_buffers"].items():
+                optimizer_state[key] = [
+                    archive[f"optimizer.{key}.{index}"] for index in range(count)
+                ]
+            history = {
+                key: archive[f"history.{key}"].tolist()
+                for key in header["history_keys"]
+            }
+    except TrainingError:
+        raise
+    except Exception as error:
+        raise TrainingError(f"{path} could not be decoded: {error}") from error
+
+    return {
+        "iteration": int(header["iteration"]),
+        "model": model_state,
+        "optimizer": optimizer_state,
+        "batch_rng": header["batch_rng"],
+        "noise_rng": header["noise_rng"],
+        "accountant_steps": int(header["accountant_steps"]),
+        "scheduler": header.get("scheduler"),
+        "fingerprint": header.get("fingerprint"),
+        "history": history,
+    }

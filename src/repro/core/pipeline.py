@@ -14,11 +14,13 @@ score.  ``epsilon=None`` gives the Non-Private reference (ε = ∞).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.core.checkpoint import normalize_checkpoint_path
 from repro.core.loss import PenaltyLossConfig
 from repro.core.seed_selection import score_nodes, select_top_k_seeds
 from repro.core.trainer import DPGNNTrainer, DPTrainingConfig, TrainingHistory
@@ -65,6 +67,14 @@ class PrivIMConfig:
             reference path, 0 = one per CPU).  The sampled container is
             bit-identical for any value under a fixed seed, so this is a
             pure throughput knob — see :mod:`repro.sampling.parallel`.
+        checkpoint_every: write a crash-safe training checkpoint every this
+            many iterations (``None`` disables checkpointing).
+        checkpoint_path: training-checkpoint file (``.npz`` appended when
+            missing); required when ``checkpoint_every`` is set.
+        resume: restore ``checkpoint_path`` before training if it exists,
+            continuing a killed run with bit-identical weights, losses, and
+            accountant ε; when the file does not exist yet the run starts
+            fresh (first launch of a crash-restart loop).
         rng: master seed for the whole pipeline.
     """
 
@@ -89,6 +99,9 @@ class PrivIMConfig:
     diffusion_steps: int = 1
     phi: str = "clamp"
     workers: int = 1
+    checkpoint_every: int | None = None
+    checkpoint_path: str | None = None
+    resume: bool = False
     rng: int | np.random.Generator | None = field(default=None, repr=False)
 
     def resolved_sampling_rate(self, num_nodes: int) -> float:
@@ -123,6 +136,9 @@ class PipelineResult:
         stage1_count / stage2_count: dual-stage split (0/0 for naive).
         sampling_stats: the sampling engine's counters (worker count,
             walks attempted / failed / cap-rejected, per-stage wall time).
+        clip_bound: the per-subgraph clip norm the trainer actually used
+            (``None`` in the non-private mode, which neither clips nor
+            noises).
     """
 
     num_subgraphs: int
@@ -137,6 +153,7 @@ class PipelineResult:
     stage1_count: int = 0
     stage2_count: int = 0
     sampling_stats: SamplingStats | None = None
+    clip_bound: float | None = None
 
 
 class _BasePipeline:
@@ -178,9 +195,12 @@ class _BasePipeline:
         delta = config.resolved_delta(graph.num_nodes)
 
         if config.epsilon is None:
+            # Non-private reference (ε = ∞): no noise AND no clipping, per
+            # the trainer's documented non-private mode — leaving the clip
+            # on would bias the upper-reference rows of Table II / Fig. 5.
             sigma = 0.0
             achieved_epsilon = float("inf")
-            clip_bound = config.clip_bound
+            clip_bound = None
         else:
             sigma = calibrate_sigma(
                 config.epsilon,
@@ -211,8 +231,16 @@ class _BasePipeline:
                 penalty=config.penalty,
                 phi=config.phi,
             ),
+            checkpoint_every=config.checkpoint_every,
+            checkpoint_path=config.checkpoint_path,
         )
         trainer = DPGNNTrainer(self.model, container, training_config, self._training_rng)
+        if config.resume:
+            if not config.checkpoint_path:
+                raise TrainingError("resume=True requires a checkpoint_path")
+            resume_path = normalize_checkpoint_path(config.checkpoint_path)
+            if os.path.exists(resume_path):
+                trainer.load_checkpoint(resume_path)
         history = trainer.train()
 
         if trainer.accountant is not None:
@@ -231,6 +259,7 @@ class _BasePipeline:
             stage1_count=stage1,
             stage2_count=stage2,
             sampling_stats=sampling_stats,
+            clip_bound=clip_bound,
         )
         return self.result
 
@@ -310,5 +339,9 @@ class PrivIMStar(_BasePipeline):
 
 
 def non_private_config(config: PrivIMConfig) -> PrivIMConfig:
-    """Copy of ``config`` with the privacy budget removed (ε = ∞)."""
+    """Copy of ``config`` with the privacy budget removed (ε = ∞).
+
+    At fit time the non-private path trains with ``sigma = 0`` **and**
+    ``clip_bound = None`` — the trainer's documented non-private mode.
+    """
     return replace(config, epsilon=None)

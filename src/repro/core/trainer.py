@@ -31,7 +31,12 @@ from repro.gnn.models import GNN
 from repro.nn.optim import SGD
 from repro.nn.tensor import Tensor
 from repro.sampling.container import Subgraph, SubgraphContainer
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import (
+    ensure_rng,
+    restore_rng_state,
+    serialize_rng_state,
+    spawn_rngs,
+)
 
 
 @dataclass
@@ -41,12 +46,18 @@ class DPTrainingConfig:
     Attributes:
         iterations: training iterations ``T``.
         batch_size: subgraphs per batch ``B``.
-        learning_rate: η (paper: 0.005).
+        learning_rate: η (paper: 0.005; the default here is larger because
+            the scaled graphs need fewer, coarser steps).
         clip_bound: per-subgraph gradient norm bound ``C``; ``None``
             disables clipping (non-private mode only).
         sigma: noise multiplier; 0 disables noise (non-private mode).
         max_occurrences: occurrence bound ``N_g`` used in ``Δ_g = C · N_g``.
         loss: Eq. 5 configuration.
+        checkpoint_every: write a training-state checkpoint every this many
+            iterations (and at the final one); ``None`` disables
+            checkpointing.
+        checkpoint_path: where the checkpoint is written (``.npz`` appended
+            if missing).  Required when ``checkpoint_every`` is set.
     """
 
     iterations: int = 30
@@ -56,6 +67,8 @@ class DPTrainingConfig:
     sigma: float = 1.0
     max_occurrences: int = 4
     loss: PenaltyLossConfig = field(default_factory=PenaltyLossConfig)
+    checkpoint_every: int | None = None
+    checkpoint_path: str | None = None
 
     def validate(self) -> None:
         """Raise :class:`TrainingError` on invalid settings."""
@@ -73,6 +86,13 @@ class DPTrainingConfig:
             raise TrainingError("noise requires a finite clip_bound (sensitivity = C·N_g)")
         if self.max_occurrences < 1:
             raise TrainingError(f"max_occurrences must be >= 1, got {self.max_occurrences}")
+        if self.checkpoint_every is not None:
+            if self.checkpoint_every < 1:
+                raise TrainingError(
+                    f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+                )
+            if not self.checkpoint_path:
+                raise TrainingError("checkpoint_every requires a checkpoint_path")
         self.loss.validate()
 
     @property
@@ -142,6 +162,11 @@ class DPGNNTrainer:
             )
         # Per-subgraph feature cache: featurisation is deterministic.
         self._feature_cache: dict[int, np.ndarray] = {}
+        # Resumable progress: completed iterations and their records.  A
+        # restored checkpoint overwrites both, so train() continues exactly
+        # where the interrupted run stopped.
+        self._iteration = 0
+        self.history = TrainingHistory()
 
     # ------------------------------------------------------------------ #
     def _subgraph_features(self, index: int, subgraph: Subgraph) -> np.ndarray:
@@ -200,7 +225,15 @@ class DPGNNTrainer:
         return float(np.mean(losses)), float(np.mean(norms))
 
     def train(self, scheduler=None) -> TrainingHistory:
-        """Run all ``T`` iterations and return the history.
+        """Run the remaining iterations up to ``T`` and return the history.
+
+        On a fresh trainer this runs all ``T`` iterations.  After
+        :meth:`load_checkpoint` it continues from the checkpointed
+        iteration, and the completed run is bit-identical (weights,
+        per-iteration losses, accountant ε) to one that was never
+        interrupted.  When ``config.checkpoint_every`` is set, a
+        crash-safe checkpoint is written every that many iterations and
+        after the final one.
 
         Args:
             scheduler: optional :class:`repro.nn.schedulers.LRScheduler`
@@ -208,16 +241,118 @@ class DPGNNTrainer:
                 schedule depends only on the iteration index, so it is
                 public and costs no privacy budget.
         """
-        history = TrainingHistory()
-        for _ in range(self.config.iterations):
+        config = self.config
+        while self._iteration < config.iterations:
             started = time.perf_counter()
             loss_value, raw_norm = self.train_step()
             if scheduler is not None:
                 scheduler.step()
-            history.losses.append(loss_value)
-            history.gradient_norms.append(raw_norm)
-            history.seconds.append(time.perf_counter() - started)
-        return history
+            self._iteration += 1
+            self.history.losses.append(loss_value)
+            self.history.gradient_norms.append(raw_norm)
+            self.history.seconds.append(time.perf_counter() - started)
+            if config.checkpoint_every is not None and (
+                self._iteration % config.checkpoint_every == 0
+                or self._iteration == config.iterations
+            ):
+                self.save_checkpoint(scheduler=scheduler)
+        return self.history
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / resume
+    # ------------------------------------------------------------------ #
+    def _fingerprint(self) -> dict:
+        """Settings a checkpoint must agree on for resume to stay private.
+
+        Resuming against a different σ, clip bound, batch size, occurrence
+        bound, or container silently changes what each recorded accountant
+        step meant, so :meth:`load_state_dict` rejects any mismatch.
+        ``iterations`` is deliberately excluded — extending ``T`` is how a
+        finished run is legitimately continued (with ε re-accounted).
+        """
+        config = self.config
+        return {
+            "sigma": float(config.sigma),
+            "clip_bound": None if config.clip_bound is None else float(config.clip_bound),
+            "batch_size": int(config.batch_size),
+            "max_occurrences": int(config.max_occurrences),
+            "num_subgraphs": len(self.container),
+        }
+
+    def state_dict(self, scheduler=None) -> dict:
+        """Complete training state: everything resume needs for bit-identity.
+
+        Captures the model weights, optimizer buffers, both RNG streams,
+        the accountant's step count, the per-iteration history, and (when
+        given) the scheduler's progress.
+        """
+        return {
+            "iteration": int(self._iteration),
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "batch_rng": serialize_rng_state(self._batch_rng),
+            "noise_rng": serialize_rng_state(self._noise_rng),
+            "accountant_steps": int(self.accountant.steps) if self.accountant else 0,
+            "scheduler": None if scheduler is None else scheduler.state_dict(),
+            "fingerprint": self._fingerprint(),
+            "history": {
+                "losses": [float(value) for value in self.history.losses],
+                "gradient_norms": [float(value) for value in self.history.gradient_norms],
+                "seconds": [float(value) for value in self.history.seconds],
+            },
+        }
+
+    def load_state_dict(self, state: dict, scheduler=None) -> None:
+        """Restore :meth:`state_dict` output; subsequent draws/steps are
+        bit-identical to the run that produced the snapshot."""
+        fingerprint = state.get("fingerprint")
+        if fingerprint is not None and fingerprint != self._fingerprint():
+            raise TrainingError(
+                "checkpoint does not match this trainer's privacy-relevant "
+                f"settings (checkpoint {fingerprint}, trainer {self._fingerprint()}); "
+                "resuming would invalidate the accounted epsilon"
+            )
+        steps = int(state.get("accountant_steps", 0))
+        if self.accountant is None and steps:
+            raise TrainingError(
+                "checkpoint carries accounted privacy steps but this trainer "
+                "is non-private"
+            )
+        self.model.load_state_dict(state["model"])
+        self.model.zero_grad()
+        self.optimizer.load_state_dict(state["optimizer"])
+        restore_rng_state(self._batch_rng, state["batch_rng"])
+        restore_rng_state(self._noise_rng, state["noise_rng"])
+        if self.accountant is not None:
+            self.accountant.steps = steps
+        history = state.get("history", {})
+        self.history = TrainingHistory(
+            losses=[float(value) for value in history.get("losses", [])],
+            gradient_norms=[float(value) for value in history.get("gradient_norms", [])],
+            seconds=[float(value) for value in history.get("seconds", [])],
+        )
+        self._iteration = int(state["iteration"])
+        if scheduler is not None and state.get("scheduler") is not None:
+            scheduler.load_state_dict(state["scheduler"])
+
+    def save_checkpoint(self, path: str | None = None, *, scheduler=None) -> str:
+        """Atomically write the full training state; returns the path used."""
+        from repro.core.checkpoint import save_training_checkpoint
+
+        target = path if path is not None else self.config.checkpoint_path
+        if target is None:
+            raise TrainingError("no checkpoint path given or configured")
+        return save_training_checkpoint(self.state_dict(scheduler=scheduler), target)
+
+    def load_checkpoint(self, path: str | None = None, *, scheduler=None) -> "DPGNNTrainer":
+        """Restore a checkpoint written by :meth:`save_checkpoint`."""
+        from repro.core.checkpoint import load_training_checkpoint
+
+        target = path if path is not None else self.config.checkpoint_path
+        if target is None:
+            raise TrainingError("no checkpoint path given or configured")
+        self.load_state_dict(load_training_checkpoint(target), scheduler=scheduler)
+        return self
 
     def spent_epsilon(self, delta: float) -> float:
         """(ε, δ)-DP spent so far; ``inf`` in the non-private mode."""

@@ -31,6 +31,42 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Serialisable optimiser state; subclasses add their buffers."""
+        return {"learning_rate": float(self.learning_rate)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict`."""
+        if "learning_rate" not in state:
+            raise TrainingError("optimizer state is missing 'learning_rate'")
+        learning_rate = float(state["learning_rate"])
+        if learning_rate <= 0:
+            raise TrainingError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+
+    def _load_buffers(self, state: dict, key: str, current: list[np.ndarray]) -> list[np.ndarray]:
+        """Validate and copy a per-parameter buffer list out of ``state``."""
+        values = state.get(key)
+        if values is None or len(values) != len(current):
+            found = "missing" if values is None else f"{len(values)} buffers"
+            raise TrainingError(
+                f"optimizer state {key!r} does not match the parameter list "
+                f"({found} for {len(current)} parameters)"
+            )
+        buffers = []
+        for index, (value, reference) in enumerate(zip(values, current)):
+            array = np.asarray(value, dtype=np.float64)
+            if array.shape != reference.shape:
+                raise TrainingError(
+                    f"optimizer state {key!r}[{index}] has shape {array.shape}, "
+                    f"expected {reference.shape}"
+                )
+            buffers.append(array.copy())
+        return buffers
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -63,6 +99,15 @@ class SGD(Optimizer):
                 velocity += gradient
                 gradient = velocity
             parameter.data -= self.learning_rate * gradient
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["velocity"] = [velocity.copy() for velocity in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._velocity = self._load_buffers(state, "velocity", self._velocity)
 
 
 class Adam(Optimizer):
@@ -108,3 +153,19 @@ class Adam(Optimizer):
             second += (1.0 - beta2) * gradient**2
             step_size = self.learning_rate / correction1
             parameter.data -= step_size * first / (np.sqrt(second / correction2) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["step_count"] = int(self._step_count)
+        state["first_moment"] = [moment.copy() for moment in self._first_moment]
+        state["second_moment"] = [moment.copy() for moment in self._second_moment]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        step_count = int(state.get("step_count", 0))
+        if step_count < 0:
+            raise TrainingError(f"step_count must be >= 0, got {step_count}")
+        self._step_count = step_count
+        self._first_moment = self._load_buffers(state, "first_moment", self._first_moment)
+        self._second_moment = self._load_buffers(state, "second_moment", self._second_moment)

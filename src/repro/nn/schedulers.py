@@ -35,6 +35,30 @@ class LRScheduler:
         self.optimizer.learning_rate = new_rate
         return new_rate
 
+    def state_dict(self) -> dict:
+        """Serialisable scheduler progress (the schedule itself is config)."""
+        return {
+            "iteration": int(self.iteration),
+            "base_learning_rate": float(self.base_learning_rate),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore progress saved by :meth:`state_dict`.
+
+        Only the iteration counter and base rate are restored; the schedule
+        shape (period, gamma, …) comes from how the scheduler was built, so
+        resuming requires reconstructing it with the original arguments.
+        """
+        if "iteration" not in state:
+            raise TrainingError("scheduler state is missing 'iteration'")
+        iteration = int(state["iteration"])
+        if iteration < 0:
+            raise TrainingError(f"iteration must be >= 0, got {iteration}")
+        self.iteration = iteration
+        self.base_learning_rate = float(
+            state.get("base_learning_rate", self.base_learning_rate)
+        )
+
 
 class ConstantLR(LRScheduler):
     """No decay (Algorithm 2's default)."""

@@ -71,6 +71,61 @@ def child_generator(root_entropy: int, *key: int) -> np.random.Generator:
     return np.random.default_rng(sequence)
 
 
+def _state_to_jsonable(value):
+    """Deep-copy a bit-generator state into JSON-safe builtins."""
+    if isinstance(value, dict):
+        return {key: _state_to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _state_from_jsonable(value):
+    """Inverse of :func:`_state_to_jsonable` (idempotent on native states)."""
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return np.asarray(value["__ndarray__"], dtype=value["dtype"])
+        return {key: _state_from_jsonable(item) for key, item in value.items()}
+    return value
+
+
+def serialize_rng_state(generator: np.random.Generator) -> dict:
+    """JSON-serialisable snapshot of ``generator.bit_generator.state``.
+
+    Bit-generator states mix Python ints, numpy scalars, and (for MT19937)
+    uint32 arrays; this normalises all of them to builtins so the snapshot
+    survives a ``json.dumps`` round trip inside a training checkpoint.
+    Restore with :func:`restore_rng_state` or :func:`generator_from_state`.
+    """
+    return _state_to_jsonable(generator.bit_generator.state)
+
+
+def restore_rng_state(generator: np.random.Generator, state: dict) -> None:
+    """Restore ``generator`` in place to a :func:`serialize_rng_state` snapshot.
+
+    The generator's subsequent draws are bit-identical to the draws the
+    snapshotted generator would have produced — the property crash-safe
+    training resume rests on.
+    """
+    generator.bit_generator.state = _state_from_jsonable(state)
+
+
+def generator_from_state(state: dict) -> np.random.Generator:
+    """Build a fresh ``Generator`` from a :func:`serialize_rng_state` snapshot."""
+    native = _state_from_jsonable(state)
+    name = native.get("bit_generator", "PCG64")
+    bit_generator_cls = getattr(np.random, str(name), None)
+    if bit_generator_cls is None:
+        raise ValueError(f"unknown bit generator {name!r} in rng state")
+    bit_generator = bit_generator_cls()
+    bit_generator.state = native
+    return np.random.Generator(bit_generator)
+
+
 def bench_seed() -> int:
     """The benchmark suite's shared master seed.
 

@@ -70,6 +70,14 @@ class TestPrivIMStar:
         result = pipeline.fit(graph)
         assert result.sigma == 0.0
         assert result.epsilon == float("inf")
+        # ε = ∞ means no noise AND no clipping (trainer's documented
+        # non-private mode) — clipping would bias the upper reference.
+        assert result.clip_bound is None
+
+    def test_private_mode_keeps_configured_clip_bound(self, graph):
+        config = fast_config()
+        result = PrivIMStar(config).fit(graph)
+        assert result.clip_bound == config.clip_bound
 
     def test_seeds_deterministic_given_seed(self, graph):
         first = PrivIMStar(fast_config())

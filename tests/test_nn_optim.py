@@ -89,3 +89,75 @@ class TestAdam:
         parameter = Parameter(np.ones(1))
         with pytest.raises(TrainingError):
             Adam([parameter], learning_rate=0.1, betas=(1.0, 0.9))
+
+
+class TestStateDict:
+    """Resumed optimisation must match uninterrupted optimisation exactly."""
+
+    @staticmethod
+    def descend(optimizer, parameter, steps):
+        for _ in range(steps):
+            parameter.zero_grad()
+            quadratic_loss(parameter).backward()
+            optimizer.step()
+
+    def test_sgd_momentum_resume_is_bit_identical(self):
+        reference = Parameter(np.array([0.0]))
+        self.descend(SGD([reference], 0.1, momentum=0.9), reference, 5)
+
+        parameter = Parameter(np.array([0.0]))
+        optimizer = SGD([parameter], 0.1, momentum=0.9)
+        self.descend(optimizer, parameter, 2)
+        snapshot = optimizer.state_dict()
+
+        resumed_parameter = Parameter(parameter.data.copy())
+        resumed = SGD([resumed_parameter], 0.1, momentum=0.9)
+        resumed.load_state_dict(snapshot)
+        self.descend(resumed, resumed_parameter, 3)
+        np.testing.assert_array_equal(resumed_parameter.data, reference.data)
+
+    def test_adam_resume_is_bit_identical(self):
+        reference = Parameter(np.array([0.0]))
+        self.descend(Adam([reference], 0.1), reference, 6)
+
+        parameter = Parameter(np.array([0.0]))
+        optimizer = Adam([parameter], 0.1)
+        self.descend(optimizer, parameter, 3)
+        snapshot = optimizer.state_dict()
+
+        resumed_parameter = Parameter(parameter.data.copy())
+        resumed = Adam([resumed_parameter], 0.1)
+        resumed.load_state_dict(snapshot)
+        # step_count must carry over or bias correction would restart.
+        assert resumed._step_count == 3
+        self.descend(resumed, resumed_parameter, 3)
+        np.testing.assert_array_equal(resumed_parameter.data, reference.data)
+
+    def test_state_dict_copies_are_independent(self):
+        parameter = Parameter(np.array([0.0]))
+        optimizer = SGD([parameter], 0.1, momentum=0.5)
+        snapshot = optimizer.state_dict()
+        snapshot["velocity"][0][...] = 99.0
+        assert optimizer._velocity[0][0] == 0.0
+
+    def test_load_rejects_buffer_count_mismatch(self):
+        optimizer = SGD([Parameter(np.zeros(2))], 0.1, momentum=0.5)
+        with pytest.raises(TrainingError):
+            optimizer.load_state_dict({"learning_rate": 0.1, "velocity": []})
+
+    def test_load_rejects_shape_mismatch(self):
+        optimizer = SGD([Parameter(np.zeros(2))], 0.1, momentum=0.5)
+        with pytest.raises(TrainingError):
+            optimizer.load_state_dict(
+                {"learning_rate": 0.1, "velocity": [np.zeros(3)]}
+            )
+
+    def test_load_rejects_missing_learning_rate(self):
+        optimizer = SGD([Parameter(np.zeros(2))], 0.1)
+        with pytest.raises(TrainingError):
+            optimizer.load_state_dict({"velocity": [np.zeros(2)]})
+
+    def test_adam_load_rejects_missing_moments(self):
+        optimizer = Adam([Parameter(np.zeros(2))], 0.1)
+        with pytest.raises(TrainingError):
+            optimizer.load_state_dict({"learning_rate": 0.1, "step_count": 1})

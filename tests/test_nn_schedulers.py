@@ -61,6 +61,29 @@ class TestSchedulers:
         with pytest.raises(TrainingError):
             CosineLR(optimizer, total=0)
 
+    def test_state_dict_round_trip_resumes_schedule(self):
+        optimizer = make_optimizer(0.1)
+        scheduler = StepDecayLR(optimizer, period=2, gamma=0.5)
+        for _ in range(3):
+            scheduler.step()
+        snapshot = scheduler.state_dict()
+
+        resumed_optimizer = make_optimizer(0.1)
+        resumed_optimizer.learning_rate = optimizer.learning_rate
+        resumed = StepDecayLR(resumed_optimizer, period=2, gamma=0.5)
+        resumed.load_state_dict(snapshot)
+        assert resumed.iteration == 3
+        # The next step must agree exactly with the uninterrupted schedule.
+        assert resumed.step() == scheduler.step()
+        assert resumed_optimizer.learning_rate == optimizer.learning_rate
+
+    def test_load_state_dict_validation(self):
+        scheduler = ConstantLR(make_optimizer())
+        with pytest.raises(TrainingError):
+            scheduler.load_state_dict({})
+        with pytest.raises(TrainingError):
+            scheduler.load_state_dict({"iteration": -1})
+
     def test_trainer_accepts_scheduler(self):
         from repro.core.trainer import DPGNNTrainer, DPTrainingConfig
         from repro.gnn.models import build_gnn

@@ -11,6 +11,7 @@ graphs and configs through both the serial and the parallel engines.
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from repro.dp.accountant import PrivacyAccountant, calibrate_sigma
 from repro.dp.sensitivity import max_occurrences_dual_stage, max_occurrences_naive
 from repro.graphs.graph import Graph
 from repro.sampling.dual_stage import (
@@ -120,3 +121,92 @@ class TestDualStageOccurrenceBound:
         assert stats.walks_attempted == (
             stats.walks_failed + stats.walks_rejected + stats.subgraphs_emitted
         )
+
+
+accountant_params = st.tuples(
+    st.floats(0.4, 4.0),     # sigma
+    st.integers(1, 12),      # batch size B
+    st.integers(0, 150),     # extra container size beyond B
+    st.integers(1, 6),       # occurrence bound N_g
+)
+
+
+class TestAccountantInvariants:
+    """ε-accounting monotonicity — the properties crash-safe resume relies
+    on: restoring `steps` restores ε exactly, and ε only ever grows with
+    recorded steps and shrinks with noise."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        params=accountant_params,
+        steps=st.integers(1, 40),
+        extra_steps=st.integers(1, 40),
+        delta=st.floats(1e-6, 1e-3),
+    )
+    def test_epsilon_nondecreasing_in_steps(self, params, steps, extra_steps, delta):
+        sigma, batch_size, extra, occurrences = params
+        accountant = PrivacyAccountant(sigma, batch_size, batch_size + extra, occurrences)
+        accountant.step(steps)
+        first = accountant.epsilon(delta)
+        accountant.step(extra_steps)
+        assert accountant.epsilon(delta) >= first - 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        params=accountant_params,
+        sigma_increase=st.floats(0.1, 5.0),
+        steps=st.integers(1, 40),
+        delta=st.floats(1e-6, 1e-3),
+    )
+    def test_epsilon_nonincreasing_in_sigma(self, params, sigma_increase, steps, delta):
+        sigma, batch_size, extra, occurrences = params
+        num_subgraphs = batch_size + extra
+
+        def epsilon_at(noise):
+            accountant = PrivacyAccountant(noise, batch_size, num_subgraphs, occurrences)
+            accountant.step(steps)
+            return accountant.epsilon(delta)
+
+        assert epsilon_at(sigma + sigma_increase) <= epsilon_at(sigma) + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        params=accountant_params,
+        steps=st.integers(2, 40),
+        delta=st.floats(1e-6, 1e-3),
+    )
+    def test_restored_steps_restore_epsilon_exactly(self, params, steps, delta):
+        """The checkpoint/resume contract: an accountant rebuilt with the
+        same parameters and restored `steps` reports the identical ε."""
+        sigma, batch_size, extra, occurrences = params
+        original = PrivacyAccountant(sigma, batch_size, batch_size + extra, occurrences)
+        original.step(steps)
+        restored = PrivacyAccountant(sigma, batch_size, batch_size + extra, occurrences)
+        restored.steps = original.steps
+        assert restored.epsilon(delta) == original.epsilon(delta)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        target=st.floats(0.5, 8.0),
+        batch_size=st.integers(1, 12),
+        extra=st.integers(4, 150),
+        occurrences=st.integers(1, 6),
+        steps=st.integers(5, 60),
+        delta=st.floats(1e-5, 1e-3),
+    )
+    def test_calibrate_sigma_round_trips_to_target(
+        self, target, batch_size, extra, occurrences, steps, delta
+    ):
+        num_subgraphs = batch_size + extra
+        sigma = calibrate_sigma(
+            target, delta, steps=steps, batch_size=batch_size,
+            num_subgraphs=num_subgraphs, max_occurrences=occurrences,
+        )
+        accountant = PrivacyAccountant(sigma, batch_size, num_subgraphs, occurrences)
+        accountant.step(steps)
+        achieved = accountant.epsilon(delta)
+        assert achieved <= target + 1e-6
+        # Tight unless bisection bottomed out at its lower bracket (the
+        # target was unreachably loose for any meaningful noise).
+        if sigma > 0.011:
+            assert achieved >= 0.9 * target
