@@ -95,6 +95,26 @@ def test_bench_parallel_naive_sampling(benchmark, bench_workers):
     assert len(run.container) > 0
 
 
+def test_bench_observed_dual_stage_sampling(benchmark, record_run_summary):
+    """The dual-stage workload with full observability enabled.
+
+    Directly comparable to ``test_bench_dual_stage_sampling`` (same graph,
+    config, and seed): the gap between the two is the cost of spans,
+    counters, and run-record events on the sampling hot path.  The run
+    record itself is folded into ``extra_info``.
+    """
+    from repro.obs import Observability, RunRecorder
+
+    graph = _graph()
+    config = DualStageSamplingConfig(subgraph_size=30, threshold=4, sampling_rate=0.4)
+    recorder = RunRecorder()
+    obs = Observability(recorder=recorder)
+    run = benchmark(sample_dual_stage, graph, config, bench_seed(), obs=obs)
+    record_run_summary(recorder.events)
+    assert len(run.container) > 0
+    assert benchmark.extra_info["event_counts"]["span"] >= 2
+
+
 def test_bench_dp_sgd_step(benchmark):
     graph = _graph()
     container = extract_subgraphs_dual_stage(

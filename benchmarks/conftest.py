@@ -22,7 +22,37 @@ import os
 import pytest
 
 from repro.experiments.profiles import get_profile
+from repro.obs.record import summarize_run_record
 from repro.utils.rng import bench_seed
+
+
+@pytest.fixture
+def record_run_summary(benchmark):
+    """Fold an observability run record into pytest-benchmark ``extra_info``.
+
+    The fixture is a callable taking a list of run-record event dicts
+    (e.g. a ``RunRecorder.events`` buffer or
+    :func:`repro.obs.record.read_run_record` output).  The per-span wall
+    times, event counts, and final ε land next to the timing statistics in
+    the benchmark JSON, so a saved benchmark run carries its own
+    budget/timing trace.  Returns the summary dict.
+    """
+
+    def _record(events) -> dict:
+        summary = summarize_run_record(events)
+        benchmark.extra_info["run_events"] = summary["events"]
+        benchmark.extra_info["event_counts"] = summary["counts"]
+        benchmark.extra_info["span_seconds"] = {
+            name: round(seconds, 4)
+            for name, seconds in summary["span_seconds"].items()
+        }
+        if summary["final_epsilon"] is not None:
+            benchmark.extra_info["final_epsilon"] = round(
+                summary["final_epsilon"], 6
+            )
+        return summary
+
+    return _record
 
 _PROFILE_NAME = os.environ.get("REPRO_BENCH_PROFILE", "quick")
 

@@ -11,7 +11,6 @@ which is why EGN trails everywhere in Figure 5.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +23,7 @@ from repro.dp.accountant import calibrate_sigma
 from repro.errors import TrainingError
 from repro.gnn.models import build_gnn
 from repro.graphs.graph import Graph
+from repro.obs import Observability, PrivacyLedger, ensure_obs
 from repro.sampling.random_sets import extract_subgraphs_random
 from repro.utils.rng import ensure_rng, spawn_rngs
 
@@ -63,10 +63,17 @@ class EGNPipeline:
 
     method_name = "EGN"
 
-    def __init__(self, config: EGNConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: EGNConfig | None = None,
+        *,
+        obs: Observability | None = None,
+    ) -> None:
         self.config = config or EGNConfig()
+        self.obs = ensure_obs(obs)
         self.model = None
         self.result: PipelineResult | None = None
+        self.ledger: PrivacyLedger | None = None
         (
             self._sampling_rng,
             self._model_rng,
@@ -76,12 +83,20 @@ class EGNPipeline:
     def fit(self, graph: Graph) -> PipelineResult:
         """Sample uniform subgraphs and train the DP GCN."""
         config = self.config
-        started = time.perf_counter()
-        subgraph_size = min(config.subgraph_size, graph.num_nodes)
-        container = extract_subgraphs_random(
-            graph, subgraph_size, config.num_subgraphs, self._sampling_rng
+        obs = self.obs
+        obs.event(
+            "run_start",
+            method=self.method_name,
+            num_nodes=graph.num_nodes,
+            epsilon=None if config.epsilon is None else float(config.epsilon),
+            iterations=config.iterations,
         )
-        preprocessing_seconds = time.perf_counter() - started
+        with obs.span("pipeline.sampling") as span:
+            subgraph_size = min(config.subgraph_size, graph.num_nodes)
+            container = extract_subgraphs_random(
+                graph, subgraph_size, config.num_subgraphs, self._sampling_rng
+            )
+        preprocessing_seconds = span.seconds
         if len(container) == 0:
             raise TrainingError("num_subgraphs must be positive for EGN")
 
@@ -123,11 +138,29 @@ class EGNPipeline:
             max_occurrences=max_occurrences,
             loss=PenaltyLossConfig(penalty=config.penalty),
         )
-        trainer = DPGNNTrainer(self.model, container, training_config, self._training_rng)
-        history = trainer.train()
+        trainer = DPGNNTrainer(
+            self.model, container, training_config, self._training_rng, obs=obs
+        )
+        if trainer.accountant is not None and obs.enabled:
+            self.ledger = PrivacyLedger(
+                delta, sink=obs.ledger_sink(), logger=obs.logger
+            )
+            trainer.accountant.attach_ledger(self.ledger)
+        with obs.span("pipeline.training"):
+            history = trainer.train()
         if trainer.accountant is not None:
             epsilon = trainer.accountant.epsilon(delta)
 
+        obs.event(
+            "run_end",
+            method=self.method_name,
+            epsilon=epsilon,
+            delta=delta,
+            sigma=sigma,
+            num_subgraphs=len(container),
+            preprocessing_seconds=preprocessing_seconds,
+            training_seconds=history.total_seconds,
+        )
         self.result = PipelineResult(
             num_subgraphs=len(container),
             max_occurrences=max_occurrences,

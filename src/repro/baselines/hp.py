@@ -19,7 +19,6 @@ behaviour without porting a second accountant.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,6 +35,7 @@ from repro.gnn.models import build_gnn
 from repro.graphs.degree import project_in_degree
 from repro.graphs.graph import Graph
 from repro.graphs.neighborhoods import k_hop_nodes
+from repro.obs import Observability, PrivacyLedger, ensure_obs
 from repro.sampling.container import Subgraph, SubgraphContainer
 from repro.utils.rng import ensure_rng, spawn_rngs
 
@@ -94,10 +94,17 @@ class HPConfig:
 class HPPipeline:
     """HeterPoisson-style per-node private training for IM."""
 
-    def __init__(self, config: HPConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: HPConfig | None = None,
+        *,
+        obs: Observability | None = None,
+    ) -> None:
         self.config = config or HPConfig()
+        self.obs = ensure_obs(obs)
         self.model = None
         self.result: PipelineResult | None = None
+        self.ledger: PrivacyLedger | None = None
         (
             self._sampling_rng,
             self._model_rng,
@@ -129,9 +136,17 @@ class HPPipeline:
     def fit(self, graph: Graph) -> PipelineResult:
         """Build ego subgraphs, calibrate SML scale, train."""
         config = self.config
-        started = time.perf_counter()
-        container = self._ego_container(graph)
-        preprocessing_seconds = time.perf_counter() - started
+        obs = self.obs
+        obs.event(
+            "run_start",
+            method=self.method_name,
+            num_nodes=graph.num_nodes,
+            epsilon=None if config.epsilon is None else float(config.epsilon),
+            iterations=config.iterations,
+        )
+        with obs.span("pipeline.sampling") as span:
+            container = self._ego_container(graph)
+        preprocessing_seconds = span.seconds
         if len(container) == 0:
             raise TrainingError(
                 "HP produced no ego subgraphs; increase ego_sample_rate"
@@ -180,11 +195,28 @@ class HPPipeline:
             training_config,
             self._training_rng,
             noise_fn=_sml_noise_fn,
+            obs=obs,
         )
-        history = trainer.train()
+        if trainer.accountant is not None and obs.enabled:
+            self.ledger = PrivacyLedger(
+                delta, sink=obs.ledger_sink(), logger=obs.logger
+            )
+            trainer.accountant.attach_ledger(self.ledger)
+        with obs.span("pipeline.training"):
+            history = trainer.train()
         if trainer.accountant is not None:
             epsilon = trainer.accountant.epsilon(delta)
 
+        obs.event(
+            "run_end",
+            method=self.method_name,
+            epsilon=epsilon,
+            delta=delta,
+            sigma=sigma,
+            num_subgraphs=len(container),
+            preprocessing_seconds=preprocessing_seconds,
+            training_seconds=history.total_seconds,
+        )
         self.result = PipelineResult(
             num_subgraphs=len(container),
             max_occurrences=max_occurrences,

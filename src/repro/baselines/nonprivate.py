@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.core.pipeline import PrivIMConfig, PrivIMStar, non_private_config
+from repro.obs import Observability
 
 
 class NonPrivatePipeline(PrivIMStar):
@@ -14,7 +15,12 @@ class NonPrivatePipeline(PrivIMStar):
 
     method_name = "Non-Private"
 
-    def __init__(self, config: PrivIMConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: PrivIMConfig | None = None,
+        *,
+        obs: Observability | None = None,
+    ) -> None:
         base = config or PrivIMConfig()
-        super().__init__(non_private_config(base))
+        super().__init__(non_private_config(base), obs=obs)
         self.method_name = "Non-Private"

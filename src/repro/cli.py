@@ -24,6 +24,7 @@ from repro.experiments.harness import split_graph
 from repro.im.celf import celf_coverage
 from repro.im.metrics import coverage_ratio
 from repro.im.spread import coverage_spread
+from repro.obs import Observability, RunRecorder, configure_logging
 from repro.utils.tables import format_table
 
 
@@ -59,6 +60,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default 1 when --checkpoint is set)")
     train.add_argument("--resume", action="store_true",
                        help="restore --checkpoint before training if it exists")
+    train.add_argument("--log-level", default=None,
+                       choices=["debug", "info", "warning", "error"],
+                       help="enable structured logging at this level "
+                            "(library is silent by default)")
+    train.add_argument("--log-json", action="store_true",
+                       help="emit logs as JSON lines instead of human text "
+                            "(implies --log-level info unless set)")
+    train.add_argument("--run-record", metavar="PATH",
+                       help="write a JSONL run record (spans, per-iteration "
+                            "metrics, privacy-budget ledger) to PATH")
 
     seeds = commands.add_parser("seeds", help="select seeds with a checkpoint")
     seeds.add_argument("checkpoint")
@@ -96,6 +107,18 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_observability(args: argparse.Namespace) -> Observability | None:
+    """Observability bundle for ``--log-level`` / ``--log-json`` /
+    ``--run-record``; ``None`` (zero overhead) when no flag is given."""
+    wants_logs = args.log_level is not None or args.log_json
+    if wants_logs:
+        configure_logging(args.log_level or "info", json_lines=args.log_json)
+    if not wants_logs and not args.run_record:
+        return None
+    recorder = RunRecorder(args.run_record) if args.run_record else None
+    return Observability(recorder=recorder)
+
+
 def _command_train(args: argparse.Namespace) -> int:
     if (args.resume or args.checkpoint_every is not None) and not args.checkpoint:
         print("--resume/--checkpoint-every require --checkpoint", file=sys.stderr)
@@ -117,16 +140,32 @@ def _command_train(args: argparse.Namespace) -> int:
         resume=args.resume,
         rng=args.seed,
     )
+    obs = _build_observability(args)
     if args.method == "privim":
-        pipeline = PrivIM(config)
+        pipeline = PrivIM(config, obs=obs)
     else:
-        pipeline = PrivIMStar(config, include_boundary=args.method == "privim-star")
-    result = pipeline.fit(train_graph)
+        pipeline = PrivIMStar(
+            config, include_boundary=args.method == "privim-star", obs=obs
+        )
+    try:
+        result = pipeline.fit(train_graph)
 
-    k = min(args.k, test_graph.num_nodes)
-    seeds = pipeline.select_seeds(test_graph, k)
-    spread = coverage_spread(test_graph, seeds)
-    _, celf_spread = celf_coverage(test_graph, k)
+        k = min(args.k, test_graph.num_nodes)
+        seeds = pipeline.select_seeds(test_graph, k)
+        spread = coverage_spread(test_graph, seeds)
+        _, celf_spread = celf_coverage(test_graph, k)
+        if obs is not None:
+            obs.event(
+                "evaluation",
+                k=k,
+                spread=spread,
+                celf_spread=celf_spread,
+                coverage_ratio=coverage_ratio(spread, celf_spread),
+                seeds=seeds,
+            )
+    finally:
+        if obs is not None and obs.recorder is not None:
+            obs.recorder.close()
     print(f"dataset        : {args.dataset} (|V|={graph.num_nodes})")
     print(f"method         : {pipeline.method_name}")
     print(f"subgraphs      : {result.num_subgraphs} (N_g={result.max_occurrences})")
@@ -143,6 +182,9 @@ def _command_train(args: argparse.Namespace) -> int:
     if args.checkpoint:
         print(f"train ckpt     : {args.checkpoint}"
               f"{' (resumed)' if args.resume else ''}")
+    if args.run_record:
+        events = len(obs.recorder.events) if obs and obs.recorder else 0
+        print(f"run record     : {args.run_record} ({events} events)")
     if args.save:
         save_model(pipeline.model, args.save)
         print(f"checkpoint     : {args.save}")

@@ -18,7 +18,7 @@ from repro.core.checkpoint import (
     save_model,
     save_training_checkpoint,
 )
-from repro.core.seed_selection import score_nodes, select_top_k_seeds
+from repro.core.seed_selection import score_nodes, select_top_k_seeds, top_k_by_score
 from repro.core.pipeline import (
     PipelineResult,
     PrivIM,
@@ -48,6 +48,7 @@ __all__ = [
     "normalize_checkpoint_path",
     "score_nodes",
     "select_top_k_seeds",
+    "top_k_by_score",
     "PrivIMConfig",
     "PrivIM",
     "PrivIMStar",

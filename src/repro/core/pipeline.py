@@ -15,7 +15,6 @@ score.  ``epsilon=None`` gives the Non-Private reference (ε = ∞).
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -29,6 +28,7 @@ from repro.dp.sensitivity import max_occurrences_dual_stage, max_occurrences_nai
 from repro.errors import TrainingError
 from repro.gnn.models import build_gnn
 from repro.graphs.graph import Graph
+from repro.obs import Observability, PrivacyLedger, ensure_obs
 from repro.sampling.container import SubgraphContainer
 from repro.sampling.dual_stage import DualStageSamplingConfig
 from repro.sampling.naive import NaiveSamplingConfig
@@ -161,10 +161,21 @@ class _BasePipeline:
 
     method_name = "base"
 
-    def __init__(self, config: PrivIMConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: PrivIMConfig | None = None,
+        *,
+        obs: Observability | None = None,
+    ) -> None:
         self.config = config or PrivIMConfig()
         self.model = None
         self.result: PipelineResult | None = None
+        #: Observability bundle (spans, counters, run-record events, privacy
+        #: ledger).  ``None`` resolves to the zero-overhead NULL_OBS.
+        self.obs = ensure_obs(obs)
+        #: The privacy-budget ledger of the last ``fit`` (``None`` until a
+        #: private run with observability enabled completes).
+        self.ledger: PrivacyLedger | None = None
         (
             self._sampling_rng,
             self._model_rng,
@@ -182,9 +193,22 @@ class _BasePipeline:
     def fit(self, graph: Graph) -> PipelineResult:
         """Sample subgraphs, calibrate noise, and train the private GNN."""
         config = self.config
-        started = time.perf_counter()
-        container, max_occurrences, stage1, stage2, sampling_stats = self._sample(graph)
-        preprocessing_seconds = time.perf_counter() - started
+        obs = self.obs
+        obs.event(
+            "run_start",
+            method=self.method_name,
+            num_nodes=graph.num_nodes,
+            epsilon=None if config.epsilon is None else float(config.epsilon),
+            iterations=config.iterations,
+            batch_size=config.batch_size,
+            model=config.model,
+            workers=config.workers,
+        )
+        with obs.span("pipeline.sampling") as sampling_span:
+            container, max_occurrences, stage1, stage2, sampling_stats = self._sample(
+                graph
+            )
+        preprocessing_seconds = sampling_span.seconds
 
         if len(container) == 0:
             raise TrainingError(
@@ -202,16 +226,25 @@ class _BasePipeline:
             achieved_epsilon = float("inf")
             clip_bound = None
         else:
-            sigma = calibrate_sigma(
-                config.epsilon,
-                delta,
-                steps=config.iterations,
-                batch_size=batch_size,
-                num_subgraphs=len(container),
-                max_occurrences=max_occurrences,
-            )
+            with obs.span("pipeline.calibration"):
+                sigma = calibrate_sigma(
+                    config.epsilon,
+                    delta,
+                    steps=config.iterations,
+                    batch_size=batch_size,
+                    num_subgraphs=len(container),
+                    max_occurrences=max_occurrences,
+                )
             achieved_epsilon = config.epsilon
             clip_bound = config.clip_bound
+        obs.event(
+            "calibration",
+            sigma=sigma,
+            delta=delta,
+            clip_bound=clip_bound,
+            num_subgraphs=len(container),
+            max_occurrences=max_occurrences,
+        )
 
         self.model = build_gnn(
             config.model,
@@ -234,14 +267,22 @@ class _BasePipeline:
             checkpoint_every=config.checkpoint_every,
             checkpoint_path=config.checkpoint_path,
         )
-        trainer = DPGNNTrainer(self.model, container, training_config, self._training_rng)
+        trainer = DPGNNTrainer(
+            self.model, container, training_config, self._training_rng, obs=obs
+        )
+        if trainer.accountant is not None and obs.enabled:
+            self.ledger = PrivacyLedger(
+                delta, sink=obs.ledger_sink(), logger=obs.logger
+            )
+            trainer.accountant.attach_ledger(self.ledger)
         if config.resume:
             if not config.checkpoint_path:
                 raise TrainingError("resume=True requires a checkpoint_path")
             resume_path = normalize_checkpoint_path(config.checkpoint_path)
             if os.path.exists(resume_path):
                 trainer.load_checkpoint(resume_path)
-        history = trainer.train()
+        with obs.span("pipeline.training"):
+            history = trainer.train()
 
         if trainer.accountant is not None:
             achieved_epsilon = trainer.accountant.epsilon(delta)
@@ -261,13 +302,38 @@ class _BasePipeline:
             sampling_stats=sampling_stats,
             clip_bound=clip_bound,
         )
+        if obs.enabled:
+            obs.event(
+                "run_end",
+                method=self.method_name,
+                epsilon=achieved_epsilon,
+                delta=delta,
+                sigma=sigma,
+                num_subgraphs=len(container),
+                max_occurrences=max_occurrences,
+                stage1_count=stage1,
+                stage2_count=stage2,
+                preprocessing_seconds=preprocessing_seconds,
+                training_seconds=history.total_seconds,
+            )
+            obs.event("metrics", **obs.metrics.snapshot())
         return self.result
 
-    def select_seeds(self, graph: Graph, k: int) -> list[int]:
-        """Top-``k`` seed set on ``graph`` using the trained model."""
+    def select_seeds(
+        self,
+        graph: Graph,
+        k: int,
+        *,
+        rng: int | np.random.Generator | None = None,
+    ) -> list[int]:
+        """Top-``k`` seed set on ``graph`` using the trained model.
+
+        ``rng`` seeds the score tie-break only (see
+        :func:`repro.core.seed_selection.select_top_k_seeds`).
+        """
         if self.model is None:
             raise TrainingError("call fit() before select_seeds()")
-        return select_top_k_seeds(self.model, graph, k)
+        return select_top_k_seeds(self.model, graph, k, rng=rng)
 
     def score_nodes(self, graph: Graph) -> np.ndarray:
         """Per-node seed probabilities on ``graph``."""
@@ -294,7 +360,7 @@ class PrivIM(_BasePipeline):
             restart_probability=config.restart_probability,
             workers=config.workers,
         )
-        run = sample_naive(graph, sampling, self._sampling_rng)
+        run = sample_naive(graph, sampling, self._sampling_rng, obs=self.obs)
         bound = max_occurrences_naive(config.theta, config.num_layers)
         return run.container, bound, len(run.container), 0, run.stats
 
@@ -311,9 +377,13 @@ class PrivIMStar(_BasePipeline):
     method_name = "PrivIM*"
 
     def __init__(
-        self, config: PrivIMConfig | None = None, *, include_boundary: bool = True
+        self,
+        config: PrivIMConfig | None = None,
+        *,
+        include_boundary: bool = True,
+        obs: Observability | None = None,
     ) -> None:
-        super().__init__(config)
+        super().__init__(config, obs=obs)
         self.include_boundary = bool(include_boundary)
         if not self.include_boundary:
             self.method_name = "PrivIM+SCS"
@@ -333,7 +403,7 @@ class PrivIMStar(_BasePipeline):
             include_boundary=self.include_boundary,
             workers=config.workers,
         )
-        run = sample_dual_stage(graph, sampling, self._sampling_rng)
+        run = sample_dual_stage(graph, sampling, self._sampling_rng, obs=self.obs)
         bound = max_occurrences_dual_stage(config.threshold)
         return run.container, bound, run.stage1_count, run.stage2_count, run.stats
 

@@ -4,6 +4,14 @@ After training, the GNN scores every node of the evaluation graph with its
 seed probability ``φ(h_u)``; the top-``k`` nodes form the seed set
 (Section III-C).  Inference runs under ``no_grad`` so scoring large graphs
 does not build autograd tapes.
+
+Score ties are broken by a seeded random permutation, not by node id: a
+stable argsort on ``-scores`` silently preferred low-id nodes whenever the
+model plateaued (constant or near-constant scores), biasing every
+downstream spread estimate toward whatever the dataset's id order encodes.
+The permutation is drawn from ``rng`` (default seed
+:data:`DEFAULT_TIE_BREAK_SEED`), so results stay reproducible while ties
+land uniformly across the tied nodes.
 """
 
 from __future__ import annotations
@@ -15,6 +23,11 @@ from repro.gnn.features import degree_features
 from repro.gnn.models import GNN
 from repro.graphs.graph import Graph
 from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import ensure_rng
+
+#: Seed of the tie-breaking permutation when no ``rng`` is supplied, so the
+#: default behaviour is documented-deterministic (and id-unbiased).
+DEFAULT_TIE_BREAK_SEED = 0x5EED
 
 
 def score_nodes(model: GNN, graph: Graph) -> np.ndarray:
@@ -27,10 +40,47 @@ def score_nodes(model: GNN, graph: Graph) -> np.ndarray:
     return scores.numpy()
 
 
-def select_top_k_seeds(model: GNN, graph: Graph, k: int) -> list[int]:
-    """The top-``k`` nodes by model score (the paper's seed rule)."""
+def top_k_by_score(
+    scores: np.ndarray,
+    k: int,
+    rng: int | np.random.Generator | None = None,
+) -> list[int]:
+    """Indices of the ``k`` largest scores, ties broken by seeded shuffle.
+
+    Args:
+        scores: one score per node.
+        k: how many indices to return (``1 <= k <= len(scores)``).
+        rng: seed or generator for the tie-breaking permutation; ``None``
+            uses :data:`DEFAULT_TIE_BREAK_SEED` for a deterministic default.
+
+    Returns:
+        Node indices in non-increasing score order; equal scores appear in
+        the order of a random permutation drawn from ``rng``.
+    """
+    scores = np.asarray(scores)
+    if not 1 <= k <= len(scores):
+        raise TrainingError(f"k must be in [1, {len(scores)}], got {k}")
+    generator = ensure_rng(DEFAULT_TIE_BREAK_SEED if rng is None else rng)
+    permutation = generator.permutation(len(scores))
+    # Stable argsort over permuted scores orders ties by the permutation,
+    # then the permutation maps the winners back to original node ids.
+    order = permutation[np.argsort(-scores[permutation], kind="stable")]
+    return [int(node) for node in order[:k]]
+
+
+def select_top_k_seeds(
+    model: GNN,
+    graph: Graph,
+    k: int,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> list[int]:
+    """The top-``k`` nodes by model score (the paper's seed rule).
+
+    ``rng`` seeds the tie-breaking permutation only — it never changes
+    which score values win, just which of several *equally scored* nodes
+    fill the last seats.
+    """
     if not 1 <= k <= graph.num_nodes:
         raise TrainingError(f"k must be in [1, {graph.num_nodes}], got {k}")
-    scores = score_nodes(model, graph)
-    order = np.argsort(-scores, kind="stable")
-    return [int(node) for node in order[:k]]
+    return top_k_by_score(score_nodes(model, graph), k, rng)

@@ -15,12 +15,12 @@ the Non-Private reference trainer (ε = ∞).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.loss import PenaltyLossConfig, probabilistic_penalty_loss
+from repro.obs import Observability, ensure_obs
 from repro.dp.accountant import PrivacyAccountant
 from repro.dp.clipping import clip_to_norm
 from repro.dp.mechanisms import gaussian_noise
@@ -135,6 +135,7 @@ class DPGNNTrainer:
         rng: int | np.random.Generator | None = None,
         *,
         noise_fn=None,
+        obs: Observability | None = None,
     ) -> None:
         config.validate()
         if len(container) == 0:
@@ -146,6 +147,7 @@ class DPGNNTrainer:
         self.model = model
         self.container = container
         self.config = config
+        self.obs = ensure_obs(obs)
         self._batch_rng, self._noise_rng = spawn_rngs(ensure_rng(rng), 2)
         # Pluggable noise distribution: Algorithm 2 uses the Gaussian
         # mechanism; the HP baseline swaps in Symmetric Multivariate
@@ -162,6 +164,9 @@ class DPGNNTrainer:
             )
         # Per-subgraph feature cache: featurisation is deterministic.
         self._feature_cache: dict[int, np.ndarray] = {}
+        # Diagnostics of the most recent train_step (observability only).
+        self._last_clip_fraction = 0.0
+        self._last_noise_norm = 0.0
         # Resumable progress: completed iterations and their records.  A
         # restored checkpoint overwrites both, so train() continues exactly
         # where the interrupted run stopped.
@@ -211,14 +216,31 @@ class DPGNNTrainer:
             losses.append(loss_value)
             norms.append(raw_norm)
 
+        observing = self.obs.enabled
+        if observing:
+            if self.config.clip_bound is not None:
+                self._last_clip_fraction = float(
+                    np.mean(np.asarray(norms) > self.config.clip_bound)
+                )
+            else:
+                self._last_clip_fraction = 0.0
+            self._last_noise_norm = 0.0
+
         if self.config.is_private:
             sensitivity = node_level_sensitivity(
                 self.config.clip_bound, self.config.max_occurrences
             )
-            gradient_sum = gradient_sum + self.noise_fn(
+            noise = self.noise_fn(
                 sensitivity, self.config.sigma, gradient_sum.shape, self._noise_rng
             )
+            gradient_sum = gradient_sum + noise
+            if observing:
+                self._last_noise_norm = float(np.linalg.norm(noise))
             self.accountant.step()
+
+        if observing:
+            self.obs.gauge("train.clip_fraction").set(self._last_clip_fraction)
+            self.obs.gauge("train.noise_norm").set(self._last_noise_norm)
 
         self.model.apply_gradient_vector(gradient_sum / self.config.batch_size)
         self.optimizer.step()
@@ -242,15 +264,26 @@ class DPGNNTrainer:
                 public and costs no privacy budget.
         """
         config = self.config
+        obs = self.obs
         while self._iteration < config.iterations:
-            started = time.perf_counter()
-            loss_value, raw_norm = self.train_step()
-            if scheduler is not None:
-                scheduler.step()
+            with obs.span("train.iteration") as span:
+                loss_value, raw_norm = self.train_step()
+                if scheduler is not None:
+                    scheduler.step()
             self._iteration += 1
             self.history.losses.append(loss_value)
             self.history.gradient_norms.append(raw_norm)
-            self.history.seconds.append(time.perf_counter() - started)
+            self.history.seconds.append(span.seconds)
+            if obs.enabled:
+                obs.event(
+                    "iteration",
+                    iteration=self._iteration,
+                    loss=loss_value,
+                    gradient_norm=raw_norm,
+                    clip_fraction=self._last_clip_fraction,
+                    noise_norm=self._last_noise_norm,
+                    seconds=span.seconds,
+                )
             if config.checkpoint_every is not None and (
                 self._iteration % config.checkpoint_every == 0
                 or self._iteration == config.iterations
@@ -342,7 +375,16 @@ class DPGNNTrainer:
         target = path if path is not None else self.config.checkpoint_path
         if target is None:
             raise TrainingError("no checkpoint path given or configured")
-        return save_training_checkpoint(self.state_dict(scheduler=scheduler), target)
+        with self.obs.span("train.checkpoint_write") as span:
+            written = save_training_checkpoint(self.state_dict(scheduler=scheduler), target)
+        self.obs.event(
+            "checkpoint",
+            action="write",
+            path=written,
+            iteration=self._iteration,
+            seconds=span.seconds,
+        )
+        return written
 
     def load_checkpoint(self, path: str | None = None, *, scheduler=None) -> "DPGNNTrainer":
         """Restore a checkpoint written by :meth:`save_checkpoint`."""
@@ -351,7 +393,15 @@ class DPGNNTrainer:
         target = path if path is not None else self.config.checkpoint_path
         if target is None:
             raise TrainingError("no checkpoint path given or configured")
-        self.load_state_dict(load_training_checkpoint(target), scheduler=scheduler)
+        with self.obs.span("train.checkpoint_restore") as span:
+            self.load_state_dict(load_training_checkpoint(target), scheduler=scheduler)
+        self.obs.event(
+            "checkpoint",
+            action="restore",
+            path=target,
+            iteration=self._iteration,
+            seconds=span.seconds,
+        )
         return self
 
     def spent_epsilon(self, delta: float) -> float:

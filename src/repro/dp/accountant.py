@@ -24,12 +24,31 @@ from repro.dp.rdp import DEFAULT_ALPHAS, best_epsilon
 
 
 def _log_binomial_pmf(count: int, trials: int, probability: float) -> np.ndarray:
-    """Log pmf of ``Binomial(trials, probability)`` at ``0..count``."""
+    """Log pmf of ``Binomial(trials, probability)`` at ``0..count``.
+
+    The degenerate probabilities are handled explicitly: evaluating
+    ``i * log(p)`` / ``(trials - i) * log1p(-p)`` at ``p ∈ {0, 1}`` produces
+    ``0 · (-inf) = NaN`` terms (and RuntimeWarnings) even under ``np.where``
+    masking, which used to poison ε when the touch probability ``N_g / m``
+    reached 1.0 on small containers.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise PrivacyError(f"probability must be in [0, 1], got {probability}")
+    if probability == 0.0:
+        # Point mass at i = 0.
+        out = np.full(count + 1, -np.inf)
+        out[0] = 0.0
+        return out
+    if probability == 1.0:
+        # Point mass at i = trials (outside 0..count when count < trials).
+        out = np.full(count + 1, -np.inf)
+        if count >= trials:
+            out[trials] = 0.0
+        return out
     i = np.arange(count + 1)
     log_coeff = gammaln(trials + 1) - gammaln(i + 1) - gammaln(trials - i + 1)
-    with np.errstate(divide="ignore"):
-        log_p = np.where(i > 0, i * np.log(probability), 0.0)
-        log_q = np.where(trials - i > 0, (trials - i) * np.log1p(-probability), 0.0)
+    log_p = i * np.log(probability)
+    log_q = (trials - i) * np.log1p(-probability)
     return log_coeff + log_p + log_q
 
 
@@ -148,6 +167,8 @@ class PrivacyAccountant:
         self.steps = 0
         # Per-order single-step γ, computed lazily and cached.
         self._step_gammas: dict[float, float] | None = None
+        # Optional budget ledger; see attach_ledger().
+        self.ledger = None
 
     def _gammas(self) -> dict[float, float]:
         if self._step_gammas is None:
@@ -163,11 +184,30 @@ class PrivacyAccountant:
             }
         return self._step_gammas
 
+    def attach_ledger(self, ledger) -> "PrivacyAccountant":
+        """Emit one event per composition step to ``ledger``.
+
+        ``ledger`` is a :class:`repro.obs.ledger.PrivacyLedger` (any object
+        with a ``record_step(accountant)`` method works).  Returns ``self``
+        for chaining.
+        """
+        self.ledger = ledger
+        return self
+
     def step(self, count: int = 1) -> None:
-        """Record ``count`` training iterations."""
+        """Record ``count`` training iterations.
+
+        With a ledger attached, each of the ``count`` composition steps
+        emits its own event (running ε, best α) as it is recorded.
+        """
         if count < 0:
             raise PrivacyError(f"count must be non-negative, got {count}")
-        self.steps += count
+        if self.ledger is None:
+            self.steps += count
+            return
+        for _ in range(count):
+            self.steps += 1
+            self.ledger.record_step(self)
 
     def rdp(self, alpha: float) -> float:
         """Cumulative γ at order ``alpha`` after the recorded steps."""

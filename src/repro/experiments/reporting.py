@@ -1,10 +1,17 @@
-"""Report containers shared by the experiment modules."""
+"""Report containers shared by the experiment modules.
+
+Besides the in-process :class:`ExperimentReport`, this module can turn a
+JSONL run record (``python -m repro train --run-record run.jsonl``) into a
+report with :func:`run_record_report` — the bridge between the
+observability layer and the experiment tooling.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.obs.record import read_run_record, summarize_run_record
 from repro.utils.tables import format_series, format_table
 
 
@@ -40,3 +47,43 @@ class ExperimentReport:
     def series_dict(self) -> dict[str, tuple[Sequence[Any], Sequence[Any]]]:
         """Series keyed by name for programmatic assertions in tests."""
         return {name: (xs, ys) for name, xs, ys in self.series}
+
+
+def run_record_report(
+    source: str | list[dict[str, Any]],
+    *,
+    title: str = "run record",
+) -> ExperimentReport:
+    """Summarise a JSONL run record as an :class:`ExperimentReport`.
+
+    The report carries one stage-timing table (span path → wall seconds),
+    the privacy-budget ε trajectory as a series, and summary notes (final
+    ε, iteration count, per-type event counts).
+
+    Args:
+        source: run-record path, or an already-parsed event list.
+        title: report title line.
+    """
+    events = read_run_record(source) if isinstance(source, str) else list(source)
+    summary = summarize_run_record(events)
+    report = ExperimentReport(
+        experiment_id="Run record",
+        title=title,
+        headers=["span", "seconds"],
+        rows=[
+            [name, f"{seconds:.4f}"]
+            for name, seconds in sorted(summary["span_seconds"].items())
+        ],
+    )
+    if summary["ledger"]:
+        steps, epsilons = zip(*summary["ledger"])
+        report.series.append(("epsilon(step)", list(steps), list(epsilons)))
+        report.notes.append(f"final epsilon: {summary['final_epsilon']:.6f}")
+    report.notes.append(f"iterations: {summary['iterations']}")
+    report.notes.append(
+        "events: "
+        + ", ".join(
+            f"{kind}={count}" for kind, count in sorted(summary["counts"].items())
+        )
+    )
+    return report

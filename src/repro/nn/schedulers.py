@@ -20,6 +20,15 @@ class LRScheduler:
     def __init__(self, optimizer: Optimizer) -> None:
         self.optimizer = optimizer
         self.base_learning_rate = float(optimizer.learning_rate)
+        # The library's optimizers validate their rate, but schedulers also
+        # accept duck-typed optimizers; a zero base rate would otherwise
+        # surface as ZeroDivisionError in CosineLR's floor computation or a
+        # dead schedule at step time.
+        if self.base_learning_rate <= 0:
+            raise TrainingError(
+                f"optimizer learning rate must be positive, got "
+                f"{self.base_learning_rate}"
+            )
         self.iteration = 0
 
     def factor(self, iteration: int) -> float:
@@ -54,10 +63,15 @@ class LRScheduler:
         iteration = int(state["iteration"])
         if iteration < 0:
             raise TrainingError(f"iteration must be >= 0, got {iteration}")
-        self.iteration = iteration
-        self.base_learning_rate = float(
+        base_learning_rate = float(
             state.get("base_learning_rate", self.base_learning_rate)
         )
+        if base_learning_rate <= 0:
+            raise TrainingError(
+                f"base_learning_rate must be positive, got {base_learning_rate}"
+            )
+        self.iteration = iteration
+        self.base_learning_rate = base_learning_rate
 
 
 class ConstantLR(LRScheduler):
@@ -92,6 +106,11 @@ class CosineLR(LRScheduler):
             raise TrainingError(f"total must be >= 1, got {total}")
         if floor < 0:
             raise TrainingError(f"floor must be >= 0, got {floor}")
+        if floor > self.base_learning_rate:
+            raise TrainingError(
+                f"floor {floor} exceeds the base learning rate "
+                f"{self.base_learning_rate}; the schedule would rise, not anneal"
+            )
         self.total = int(total)
         self.floor_factor = float(floor) / self.base_learning_rate if floor else 0.0
 

@@ -1,0 +1,144 @@
+"""Unified observability: structured logs, metrics/spans, and run records.
+
+The subsystem is dependency-free and off by default.  Components accept an
+optional :class:`Observability` bundle; passing ``None`` resolves to the
+shared :data:`NULL_OBS`, whose spans degrade to bare ``perf_counter``
+pairs and whose instruments are no-ops, so the hot paths pay nothing when
+nobody is watching.
+
+Typical wiring (what the CLI does for ``--log-json --run-record``)::
+
+    from repro.obs import Observability, RunRecorder, configure_logging
+
+    configure_logging("info", json_lines=True)
+    with RunRecorder("run.jsonl") as recorder:
+        obs = Observability(recorder=recorder)
+        pipeline = PrivIMStar(config, obs=obs)
+        pipeline.fit(graph)
+
+Every event lands in the recorder's JSONL file; see
+``docs/observability.md`` for the schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.ledger import PrivacyLedger
+from repro.obs.logging import (
+    Logger,
+    MemoryHandler,
+    StreamHandler,
+    configure_logging,
+    get_logger,
+    parse_level,
+    reset_logging,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+)
+from repro.obs.record import (
+    RunRecorder,
+    read_run_record,
+    summarize_run_record,
+    validate_run_record,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Logger",
+    "MemoryHandler",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_OBS",
+    "Observability",
+    "PrivacyLedger",
+    "RunRecorder",
+    "Span",
+    "StreamHandler",
+    "configure_logging",
+    "ensure_obs",
+    "get_logger",
+    "parse_level",
+    "read_run_record",
+    "reset_logging",
+    "summarize_run_record",
+    "validate_run_record",
+]
+
+
+class Observability:
+    """One handle bundling a logger, a metrics registry, and a recorder.
+
+    Args:
+        logger: structured logger (default: the shared ``"repro"`` logger).
+        metrics: metrics registry (default: a fresh enabled registry, or
+            :data:`NULL_METRICS` when ``enabled=False``).
+        recorder: optional :class:`RunRecorder` receiving every event.
+        enabled: ``False`` builds the no-op bundle (see :data:`NULL_OBS`).
+    """
+
+    __slots__ = ("logger", "metrics", "recorder", "enabled")
+
+    def __init__(
+        self,
+        *,
+        logger: Logger | None = None,
+        metrics: MetricsRegistry | None = None,
+        recorder: RunRecorder | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = bool(enabled)
+        self.logger = logger if logger is not None else get_logger("repro")
+        if metrics is not None:
+            self.metrics = metrics
+        else:
+            self.metrics = MetricsRegistry() if self.enabled else NULL_METRICS
+        self.recorder = recorder
+
+    # ------------------------------------------------------------------ #
+    def span(self, name: str) -> Span:
+        """A named span; measures wall time even when disabled."""
+        if not self.enabled:
+            return Span(None, name)
+        return self.metrics.span(name, sink=self._span_sink)
+
+    def _span_sink(self, span: Span) -> None:
+        if self.recorder is not None:
+            self.recorder.record("span", name=span.path, seconds=span.seconds)
+
+    def event(self, type_: str, **fields: Any) -> None:
+        """Record a run-record event and mirror it to the log (debug)."""
+        if not self.enabled:
+            return
+        if self.recorder is not None:
+            self.recorder.record(type_, **fields)
+        self.logger.debug(type_, **fields)
+
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name)
+
+    def ledger_sink(self):
+        """Sink callable for :class:`PrivacyLedger` (``None`` if disabled)."""
+        if not self.enabled or self.recorder is None:
+            return None
+        return self.recorder.record_event
+
+
+#: Shared disabled bundle — all instruments no-op, spans are bare timers.
+NULL_OBS = Observability(enabled=False)
+
+
+def ensure_obs(obs: Observability | None) -> Observability:
+    """Resolve an optional ``obs`` argument to a usable bundle."""
+    return obs if obs is not None else NULL_OBS

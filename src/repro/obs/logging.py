@@ -1,0 +1,217 @@
+"""Structured logging with a human-readable and a JSON-lines format.
+
+The library is silent by default: loggers are created lazily and drop every
+record until :func:`configure_logging` installs a handler, so importing or
+running any subsystem with observability disabled costs one integer
+comparison per call site.  Records are structured — a short ``event`` name
+plus arbitrary key/value fields — so the same call renders either as a
+human line::
+
+    12:03:41.512 INFO repro.trainer iteration loss=0.412 step=7
+
+or, with ``json_lines=True``, as one JSON object per line::
+
+    {"ts": 1754480621.512, "level": "info", "logger": "repro.trainer",
+     "event": "iteration", "loss": 0.412, "step": 7}
+
+The JSON schema is stable: ``ts`` (unix seconds), ``level``, ``logger``,
+and ``event`` are always present; the remaining keys are the call's fields
+(reserved keys win on collision).  Everything here is stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, TextIO
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+#: Level at which every record is dropped (the default).
+OFF = 100
+
+_LEVEL_NAMES = {DEBUG: "debug", INFO: "info", WARNING: "warning", ERROR: "error"}
+_NAME_LEVELS = {name: level for level, name in _LEVEL_NAMES.items()}
+
+#: Reserved JSON keys that structured fields may not override.
+RESERVED_KEYS = ("ts", "level", "logger", "event")
+
+
+def parse_level(level: int | str) -> int:
+    """Normalise ``"info"`` / ``20`` style level specs to an integer."""
+    if isinstance(level, str):
+        key = level.lower()
+        if key not in _NAME_LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {sorted(_NAME_LEVELS)}"
+            )
+        return _NAME_LEVELS[key]
+    return int(level)
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of numpy scalars / arrays / paths for JSON."""
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if hasattr(value, "tolist"):  # numpy array
+        return value.tolist()
+    return str(value)
+
+
+@dataclass
+class LogRecord:
+    """One structured log entry."""
+
+    created: float
+    level: int
+    name: str
+    event: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def level_name(self) -> str:
+        return _LEVEL_NAMES.get(self.level, str(self.level))
+
+    def to_json(self) -> str:
+        """The record as one JSON line (stable schema, reserved keys win)."""
+        payload = dict(self.fields)
+        payload.update(
+            ts=round(self.created, 6),
+            level=self.level_name,
+            logger=self.name,
+            event=self.event,
+        )
+        # Keep reserved keys first for readability.
+        ordered = {key: payload.pop(key) for key in RESERVED_KEYS}
+        ordered.update(payload)
+        return json.dumps(ordered, default=_jsonable)
+
+    def to_text(self) -> str:
+        """The record as a human-readable line."""
+        clock = time.strftime("%H:%M:%S", time.localtime(self.created))
+        millis = int((self.created % 1.0) * 1000)
+        parts = [f"{clock}.{millis:03d}", self.level_name.upper(), self.name, self.event]
+        parts.extend(f"{key}={value}" for key, value in self.fields.items())
+        return " ".join(str(part) for part in parts)
+
+
+class Handler:
+    """Base handler: receives every record that passes the level filter."""
+
+    def emit(self, record: LogRecord) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class NullHandler(Handler):
+    """Drops everything (the disabled default)."""
+
+    def emit(self, record: LogRecord) -> None:
+        pass
+
+
+class StreamHandler(Handler):
+    """Writes records to a text stream, human or JSON-lines format."""
+
+    def __init__(self, stream: TextIO | None = None, *, json_lines: bool = False) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.json_lines = bool(json_lines)
+
+    def emit(self, record: LogRecord) -> None:
+        line = record.to_json() if self.json_lines else record.to_text()
+        self.stream.write(line + "\n")
+
+
+class MemoryHandler(Handler):
+    """Collects records in a list (tests and programmatic inspection)."""
+
+    def __init__(self) -> None:
+        self.records: list[LogRecord] = []
+
+    def emit(self, record: LogRecord) -> None:
+        self.records.append(record)
+
+
+class _Config:
+    """Process-wide logging state shared by every :class:`Logger`."""
+
+    __slots__ = ("level", "handler")
+
+    def __init__(self) -> None:
+        self.level = OFF
+        self.handler: Handler = NullHandler()
+
+
+_CONFIG = _Config()
+_LOGGERS: dict[str, "Logger"] = {}
+
+
+class Logger:
+    """A named structured logger; obtain via :func:`get_logger`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any record below ERROR severity would be kept."""
+        return _CONFIG.level <= ERROR
+
+    def log(self, level: int, event: str, **fields: Any) -> None:
+        """Emit ``event`` with structured ``fields`` at ``level``."""
+        if level < _CONFIG.level:
+            return
+        _CONFIG.handler.emit(LogRecord(time.time(), level, self.name, event, fields))
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log(DEBUG, event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log(INFO, event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log(WARNING, event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log(ERROR, event, **fields)
+
+
+def get_logger(name: str = "repro") -> Logger:
+    """The logger registered under ``name`` (created on first use)."""
+    if name not in _LOGGERS:
+        _LOGGERS[name] = Logger(name)
+    return _LOGGERS[name]
+
+
+def configure_logging(
+    level: int | str = "info",
+    *,
+    json_lines: bool = False,
+    stream: TextIO | None = None,
+    handler: Handler | None = None,
+) -> None:
+    """Enable logging process-wide.
+
+    Args:
+        level: minimum severity to keep (name or integer).
+        json_lines: emit one JSON object per line instead of human text.
+        stream: destination stream (default ``sys.stderr``).
+        handler: explicit handler, overriding ``json_lines`` / ``stream``.
+    """
+    _CONFIG.level = parse_level(level)
+    _CONFIG.handler = (
+        handler
+        if handler is not None
+        else StreamHandler(stream, json_lines=json_lines)
+    )
+
+
+def reset_logging() -> None:
+    """Return to the silent default (drop everything)."""
+    _CONFIG.level = OFF
+    _CONFIG.handler = NullHandler()

@@ -1,0 +1,217 @@
+"""Counters, gauges, timing histograms, and named spans.
+
+A :class:`MetricsRegistry` is a plain in-process container — no threads, no
+exporters — whose instruments the pipeline, trainer, and sampling engine
+update as they run.  :meth:`MetricsRegistry.snapshot` turns the whole
+registry into a JSON-able dict for run records and reports.
+
+Spans replace the ad-hoc ``time.perf_counter()`` pairs that used to be
+scattered across the hot paths: ``with registry.span("stage1") as span``
+measures wall time, records it into the histogram ``span.<path>`` and the
+registry's span log, and still exposes ``span.seconds`` so legacy fields
+(``SamplingStats.stage_seconds``, ``TrainingHistory.seconds``) are populated
+from the same measurement.  Spans nest — an inner span's path is prefixed
+with its parent's (``train.iteration``), giving a flat, greppable timing
+namespace.
+
+When a registry is disabled (``MetricsRegistry(enabled=False)`` — the
+shared :data:`NULL_METRICS` instance) every instrument degrades to a no-op
+and a span compiles down to a bare ``perf_counter`` pair, so the
+observability layer costs nothing on the hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "MetricsRegistry",
+    "NULL_METRICS",
+]
+
+
+class Counter:
+    """Monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value plus how many times it was set."""
+
+    __slots__ = ("value", "updates")
+
+    def __init__(self) -> None:
+        self.value: float | None = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+
+class Histogram:
+    """Streaming summary (count / total / min / max) of observed values."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class _NullCounter(Counter):
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class Span:
+    """A named wall-time measurement, usable as a context manager.
+
+    ``seconds`` is valid after ``__exit__`` regardless of whether the
+    owning registry records anything — disabled observability reduces a
+    span to exactly the ``perf_counter`` pair it replaced.
+    """
+
+    __slots__ = ("name", "path", "seconds", "started", "_registry", "_sink")
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry | None",
+        name: str,
+        sink: Callable[["Span"], None] | None = None,
+    ) -> None:
+        self.name = name
+        self.path = name
+        self.seconds = 0.0
+        self.started = 0.0
+        self._registry = registry
+        self._sink = sink
+
+    def __enter__(self) -> "Span":
+        registry = self._registry
+        if registry is not None:
+            stack = registry._span_stack
+            if stack:
+                self.path = f"{stack[-1].path}.{self.name}"
+            stack.append(self)
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self.started
+        registry = self._registry
+        if registry is not None:
+            registry._span_stack.pop()
+            registry.histogram(f"span.{self.path}").observe(self.seconds)
+            registry.span_log.append((self.path, self.seconds))
+            if self._sink is not None:
+                self._sink(self)
+
+
+class MetricsRegistry:
+    """Named counters, gauges, histograms, and the active span stack."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._span_stack: list[Span] = []
+        #: ``(path, seconds)`` of every completed span, in completion order.
+        self.span_log: list[tuple[str, float]] = []
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        if name not in self._counters:
+            self._counters[name] = Counter()
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        if name not in self._gauges:
+            self._gauges[name] = Gauge()
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        if name not in self._histograms:
+            self._histograms[name] = Histogram()
+        return self._histograms[name]
+
+    def span(self, name: str, sink: Callable[[Span], None] | None = None) -> Span:
+        """A new named span; records into the registry only when enabled."""
+        return Span(self if self.enabled else None, name, sink)
+
+    def span_seconds(self, path: str) -> float:
+        """Total wall time of all completed spans with exactly ``path``."""
+        return float(sum(seconds for name, seconds in self.span_log if name == path))
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able dump of every instrument."""
+        return {
+            "counters": {name: c.value for name, c in self._counters.items()},
+            "gauges": {name: g.value for name, g in self._gauges.items()},
+            "histograms": {
+                name: h.summary() for name, h in self._histograms.items()
+            },
+        }
+
+
+#: Shared disabled registry — every instrument is a no-op.
+NULL_METRICS = MetricsRegistry(enabled=False)

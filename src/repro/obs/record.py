@@ -1,0 +1,158 @@
+"""JSONL run records: one file per run, one JSON object per event.
+
+A :class:`RunRecorder` is the single sink every observability event flows
+into — stage spans, per-iteration training metrics, privacy-ledger steps,
+checkpoint writes/restores, and the run's start/end envelopes.  Each event
+is a flat JSON object with a mandatory ``"type"`` key, written (and
+flushed) as its own line, so a crashed run still leaves a parseable prefix
+and ``jq``/pandas can consume the file directly.
+
+:func:`read_run_record`, :func:`validate_run_record`, and
+:func:`summarize_run_record` are the consumption helpers used by
+``repro.experiments.reporting``, the benchmark harness, and the CI smoke
+job.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+__all__ = [
+    "RunRecorder",
+    "read_run_record",
+    "summarize_run_record",
+    "validate_run_record",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert numpy scalars/arrays (and anything else) for ``json.dumps``."""
+    if hasattr(value, "item"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)
+
+
+class RunRecorder:
+    """Collects run events in memory and, when given a path, appends each
+    to a JSONL file as it happens."""
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self.events: list[dict[str, Any]] = []
+        self._file = open(path, "w", encoding="utf-8") if path else None
+
+    def record(self, type_: str, **fields: Any) -> dict[str, Any]:
+        """Append one event; returns the event dict."""
+        event = {"type": type_, **fields}
+        return self.record_event(event)
+
+    def record_event(self, event: dict[str, Any]) -> dict[str, Any]:
+        """Append a pre-built event dict (must carry a ``"type"`` key)."""
+        if "type" not in event:
+            raise ValueError("run-record events require a 'type' key")
+        self.events.append(event)
+        if self._file is not None:
+            self._file.write(json.dumps(event, default=_jsonable) + "\n")
+            self._file.flush()
+        return event
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "RunRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_run_record(path: str) -> list[dict[str, Any]]:
+    """Parse a JSONL run record back into a list of event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid JSON in run record: {error}"
+                ) from error
+            events.append(event)
+    return events
+
+
+def summarize_run_record(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Aggregate a run record into the quantities consumers care about.
+
+    Returns a dict with ``events`` (total count), ``counts`` (per event
+    type), ``span_seconds`` (wall time summed per span name), ``ledger``
+    (the ``(step, epsilon)`` trace), ``final_epsilon`` (last ledger entry,
+    ``None`` for non-private runs), and ``iterations`` (training-iteration
+    events seen).
+    """
+    counts: dict[str, int] = {}
+    span_seconds: dict[str, float] = {}
+    ledger: list[tuple[int, float]] = []
+    iterations = 0
+    total = 0
+    for event in events:
+        total += 1
+        kind = event.get("type", "?")
+        counts[kind] = counts.get(kind, 0) + 1
+        if kind == "span":
+            name = event.get("name", "?")
+            span_seconds[name] = span_seconds.get(name, 0.0) + float(
+                event.get("seconds", 0.0)
+            )
+        elif kind == "ledger":
+            ledger.append((int(event["step"]), float(event["epsilon"])))
+        elif kind == "iteration":
+            iterations += 1
+    return {
+        "events": total,
+        "counts": counts,
+        "span_seconds": span_seconds,
+        "ledger": ledger,
+        "final_epsilon": ledger[-1][1] if ledger else None,
+        "iterations": iterations,
+    }
+
+
+def validate_run_record(source: str | list[dict[str, Any]]) -> dict[str, Any]:
+    """Check a run record's structural invariants; returns its summary.
+
+    Invariants: every line parses as a JSON object with a string ``type``;
+    ledger steps are strictly increasing with non-decreasing, finite,
+    non-negative ε; span events carry non-negative ``seconds``.  Raises
+    :class:`ValueError` on the first violation.
+    """
+    events = read_run_record(source) if isinstance(source, str) else list(source)
+    last_step, last_epsilon = 0, 0.0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict) or not isinstance(event.get("type"), str):
+            raise ValueError(f"event {index} is not an object with a string 'type'")
+        kind = event["type"]
+        if kind == "ledger":
+            step, epsilon = int(event["step"]), float(event["epsilon"])
+            if step <= last_step:
+                raise ValueError(
+                    f"event {index}: ledger step {step} not after {last_step}"
+                )
+            if not epsilon >= last_epsilon or epsilon != epsilon or epsilon == float("inf"):
+                raise ValueError(
+                    f"event {index}: ledger epsilon {epsilon} is not a finite "
+                    f"value >= {last_epsilon}"
+                )
+            last_step, last_epsilon = step, epsilon
+        elif kind == "span":
+            if float(event.get("seconds", -1.0)) < 0.0:
+                raise ValueError(f"event {index}: span without non-negative seconds")
+    return summarize_run_record(events)

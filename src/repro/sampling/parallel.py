@@ -38,12 +38,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import SamplingError
+from repro.obs import Observability, ensure_obs
 from repro.graphs.degree import project_in_degree
 from repro.graphs.graph import Graph
 from repro.graphs.neighborhoods import k_hop_nodes
@@ -83,7 +83,9 @@ class SamplingStats:
             only — this is the price of chunk-level staleness).
         subgraphs_emitted: accepted subgraphs added to the container.
         stage_seconds: wall time per stage (``projection`` / ``walks`` for
-            naive; ``stage1`` / ``stage2`` for dual-stage).
+            naive; ``stage1`` / ``stage2`` for dual-stage).  Every stage
+            key of the algorithm that ran is always present — a skipped
+            stage (e.g. BES on SCS-only configs) reads 0.0.
     """
 
     workers: int = 1
@@ -372,6 +374,33 @@ class _SamplingRuntime:
         self.close()
 
 
+def _publish_stats(obs: Observability, algorithm: str, stats: SamplingStats) -> None:
+    """Mirror the engine counters into the metrics registry and run record."""
+    if not obs.enabled:
+        return
+    obs.counter("sampling.starts_selected").inc(stats.starts_selected)
+    obs.counter("sampling.starts_skipped").inc(stats.starts_skipped)
+    obs.counter("sampling.walks_attempted").inc(stats.walks_attempted)
+    obs.counter("sampling.walks_failed").inc(stats.walks_failed)
+    obs.counter("sampling.walks_rejected").inc(stats.walks_rejected)
+    obs.counter("sampling.subgraphs_emitted").inc(stats.subgraphs_emitted)
+    obs.gauge("sampling.cap_hit_rate").set(stats.cap_hit_rate)
+    obs.event(
+        "sampling",
+        algorithm=algorithm,
+        workers=stats.workers,
+        chunk_size=stats.chunk_size,
+        starts_selected=stats.starts_selected,
+        starts_skipped=stats.starts_skipped,
+        walks_attempted=stats.walks_attempted,
+        walks_failed=stats.walks_failed,
+        walks_rejected=stats.walks_rejected,
+        subgraphs_emitted=stats.subgraphs_emitted,
+        cap_hit_rate=stats.cap_hit_rate,
+        stage_seconds=dict(stats.stage_seconds),
+    )
+
+
 def _chunks(values: np.ndarray, chunk_size: int) -> list[np.ndarray]:
     """Split ``values`` into contiguous chunks of ``chunk_size``."""
     return [values[i : i + chunk_size] for i in range(0, len(values), chunk_size)]
@@ -392,6 +421,8 @@ def sample_naive(
     graph: Graph,
     config,
     rng: int | np.random.Generator | None = None,
+    *,
+    obs: Observability | None = None,
 ) -> NaiveSamplingRun:
     """Run Algorithm 1 with ``config.workers`` processes.
 
@@ -400,15 +431,20 @@ def sample_naive(
     generator draws the θ-projection, the Bernoulli(q) selection mask, and
     one root entropy value; each selected start then walks under its own
     child generator, so the output is invariant to the worker count.
+
+    ``obs`` receives ``sampling.projection`` / ``sampling.walks`` stage
+    spans and the engine counters; the observability layer never touches
+    the randomness, so it cannot perturb the sampled container.
     """
     config.validate()
+    obs = ensure_obs(obs)
     generator = ensure_rng(rng)
     workers = resolve_workers(config.workers)
     stats = SamplingStats(workers=workers, chunk_size=config.chunk_size)
 
-    started = time.perf_counter()
-    projected = project_in_degree(graph, config.theta, generator)
-    stats.stage_seconds["projection"] = time.perf_counter() - started
+    with obs.span("sampling.projection") as span:
+        projected = project_in_degree(graph, config.theta, generator)
+    stats.stage_seconds["projection"] = span.seconds
 
     selected = np.flatnonzero(
         generator.random(projected.num_nodes) < config.sampling_rate
@@ -417,32 +453,33 @@ def sample_naive(
     stats.starts_selected = int(len(selected))
 
     container = SubgraphContainer()
-    started = time.perf_counter()
-    if len(selected):
-        params = (
-            config.subgraph_size,
-            config.hops,
-            config.walk_length,
-            config.restart_probability,
-            config.direction,
-        )
-        tasks = [
-            (chunk, root, params) for chunk in _chunks(selected, config.chunk_size)
-        ]
-        with _SamplingRuntime(projected, workers, None) as runtime:
-            for proposals in runtime.map(_propose_naive_chunk, tasks):
-                for _node, nodes, skipped in proposals:
-                    if skipped:
-                        stats.starts_skipped += 1
-                        continue
-                    stats.walks_attempted += 1
-                    if nodes is None:
-                        stats.walks_failed += 1
-                        continue
-                    subgraph, node_map = projected.subgraph(nodes)
-                    container.add(Subgraph(subgraph, node_map))
-                    stats.subgraphs_emitted += 1
-    stats.stage_seconds["walks"] = time.perf_counter() - started
+    with obs.span("sampling.walks") as span:
+        if len(selected):
+            params = (
+                config.subgraph_size,
+                config.hops,
+                config.walk_length,
+                config.restart_probability,
+                config.direction,
+            )
+            tasks = [
+                (chunk, root, params) for chunk in _chunks(selected, config.chunk_size)
+            ]
+            with _SamplingRuntime(projected, workers, None) as runtime:
+                for proposals in runtime.map(_propose_naive_chunk, tasks):
+                    for _node, nodes, skipped in proposals:
+                        if skipped:
+                            stats.starts_skipped += 1
+                            continue
+                        stats.walks_attempted += 1
+                        if nodes is None:
+                            stats.walks_failed += 1
+                            continue
+                        subgraph, node_map = projected.subgraph(nodes)
+                        container.add(Subgraph(subgraph, node_map))
+                        stats.subgraphs_emitted += 1
+    stats.stage_seconds["walks"] = span.seconds
+    _publish_stats(obs, "naive", stats)
     return NaiveSamplingRun(container=container, projected=projected, stats=stats)
 
 
@@ -528,6 +565,8 @@ def sample_dual_stage(
     graph: Graph,
     config,
     rng: int | np.random.Generator | None = None,
+    *,
+    obs: Observability | None = None,
 ) -> DualStageRun:
     """Run Algorithm 3 with ``config.workers`` processes.
 
@@ -535,51 +574,62 @@ def sample_dual_stage(
     Both stages use the chunk-synchronous propose/validate scheme, so the
     occurrence cap ``M`` is enforced exactly by the coordinator for every
     worker count, and the output is bit-identical across worker counts.
+
+    ``obs`` receives ``sampling.stage1`` / ``sampling.stage2`` stage spans
+    and the engine counters.  ``stats.stage_seconds`` always carries *both*
+    stage keys — ``stage2`` is 0.0 on SCS-only configs — so timing
+    consumers never have to guard a missing key.
     """
     config.validate()
+    obs = ensure_obs(obs)
     generator = ensure_rng(rng)
     workers = resolve_workers(config.workers)
     stats = SamplingStats(workers=workers, chunk_size=config.chunk_size)
+    # Both stage keys are always present (a skipped BES stage reads 0.0);
+    # downstream timing consumers rely on this invariant.
+    stats.stage_seconds["stage1"] = 0.0
+    stats.stage_seconds["stage2"] = 0.0
 
     frequency = FrequencyVector(graph.num_nodes, config.threshold)
     all_nodes = np.arange(graph.num_nodes, dtype=np.int64)
     container = SubgraphContainer()
 
-    started = time.perf_counter()
-    stage1_count = _frequency_pass(
-        graph,
-        graph,
-        frequency,
-        all_nodes,
-        config.subgraph_size,
-        config,
-        generator,
-        workers,
-        container,
-        stats,
-    )
-    stats.stage_seconds["stage1"] = time.perf_counter() - started
+    with obs.span("sampling.stage1") as span:
+        stage1_count = _frequency_pass(
+            graph,
+            graph,
+            frequency,
+            all_nodes,
+            config.subgraph_size,
+            config,
+            generator,
+            workers,
+            container,
+            stats,
+        )
+    stats.stage_seconds["stage1"] = span.seconds
 
     stage2_count = 0
     if config.include_boundary:
-        started = time.perf_counter()
-        remaining = frequency.available_nodes()
-        if len(remaining) >= config.boundary_subgraph_size:
-            residual, node_ids = graph.subgraph(remaining)
-            stage2_count = _frequency_pass(
-                residual,
-                graph,
-                frequency,
-                node_ids,
-                config.boundary_subgraph_size,
-                config,
-                generator,
-                workers,
-                container,
-                stats,
-            )
-        stats.stage_seconds["stage2"] = time.perf_counter() - started
+        with obs.span("sampling.stage2") as span:
+            remaining = frequency.available_nodes()
+            if len(remaining) >= config.boundary_subgraph_size:
+                residual, node_ids = graph.subgraph(remaining)
+                stage2_count = _frequency_pass(
+                    residual,
+                    graph,
+                    frequency,
+                    node_ids,
+                    config.boundary_subgraph_size,
+                    config,
+                    generator,
+                    workers,
+                    container,
+                    stats,
+                )
+        stats.stage_seconds["stage2"] = span.seconds
 
+    _publish_stats(obs, "dual_stage", stats)
     return DualStageRun(
         container=container,
         frequency=frequency,

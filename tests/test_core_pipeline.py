@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.pipeline import PrivIM, PrivIMConfig, PrivIMStar, non_private_config
-from repro.core.seed_selection import score_nodes, select_top_k_seeds
+from repro.core.seed_selection import score_nodes, select_top_k_seeds, top_k_by_score
 from repro.baselines.nonprivate import NonPrivatePipeline
 from repro.errors import TrainingError
 from repro.gnn.models import build_gnn
@@ -148,3 +148,58 @@ class TestSeedSelection:
             select_top_k_seeds(model, graph, 0)
         with pytest.raises(TrainingError):
             select_top_k_seeds(model, graph, graph.num_nodes + 1)
+
+
+class TestTieBreaking:
+    """Regression: a plain stable argsort on ``-scores`` sent every tie to
+    the lowest node ids, so a plateaued model always 'selected' nodes
+    0..k-1 regardless of graph structure."""
+
+    def test_constant_scores_not_biased_to_low_ids(self):
+        scores = np.full(200, 0.5)
+        seeds = top_k_by_score(scores, 10)
+        # With ties broken uniformly, getting exactly {0..9} has
+        # probability 1 / C(200, 10) ~ 4e-17 — seeing it means the bias
+        # is back.
+        assert set(seeds) != set(range(10))
+
+    def test_default_tie_break_is_deterministic(self):
+        scores = np.full(50, 1.0)
+        assert top_k_by_score(scores, 5) == top_k_by_score(scores, 5)
+
+    def test_explicit_rng_reproducible_and_varies(self):
+        scores = np.full(100, 0.25)
+        first = top_k_by_score(scores, 8, rng=1)
+        again = top_k_by_score(scores, 8, rng=1)
+        other = top_k_by_score(scores, 8, rng=2)
+        assert first == again
+        assert set(first) != set(other)
+
+    def test_ties_land_uniformly(self):
+        # Each node should win a seat in roughly k/n of the draws.
+        scores = np.full(20, 0.5)
+        counts = np.zeros(20)
+        for seed in range(300):
+            for node in top_k_by_score(scores, 5, rng=seed):
+                counts[node] += 1
+        expected = 300 * 5 / 20
+        assert counts.min() > 0.5 * expected
+        assert counts.max() < 1.5 * expected
+
+    def test_tie_break_never_beats_a_higher_score(self):
+        rng = np.random.default_rng(0)
+        scores = np.repeat([0.9, 0.5, 0.1], 10)
+        rng.shuffle(scores)
+        for seed in range(10):
+            seeds = top_k_by_score(scores, 10, rng=seed)
+            # k equals the count of 0.9-scored nodes: they must all win.
+            assert sorted(scores[seeds]) == [0.9] * 10
+
+    def test_model_selection_respects_rng_only_on_ties(self, graph):
+        model = build_gnn("gcn", hidden_features=8, num_layers=2, rng=0)
+        scores = score_nodes(model, graph)
+        seeds = select_top_k_seeds(model, graph, 5, rng=3)
+        # Continuous scores: no ties, so any rng gives the true top-5.
+        assert sorted(scores[seeds], reverse=True) == sorted(
+            np.sort(scores)[::-1][:5], reverse=True
+        )

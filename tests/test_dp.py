@@ -202,6 +202,49 @@ class TestTheorem3Accountant:
         expected = 4.0 * 8**2 / (2.0 * 50**2 * 1.0**2)
         assert gamma == pytest.approx(expected)
 
+    def test_full_touch_boundary_finite_and_warning_free(self):
+        """Regression: N_g == m gives touch probability exactly 1.
+
+        The pmf helper used to evaluate ``0 · log(p)`` / ``0 · log1p(-1)``
+        terms there, emitting RuntimeWarnings and NaN intermediates even
+        under masking.  ε must come out finite with warnings-as-errors on.
+        """
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            accountant = PrivacyAccountant(
+                sigma=1.0, batch_size=8, num_subgraphs=40, max_occurrences=40
+            )
+            accountant.step(5)
+            epsilon = accountant.epsilon(1e-5)
+        assert np.isfinite(epsilon)
+        assert epsilon > 0
+
+    def test_log_binomial_pmf_degenerate_probabilities(self):
+        import warnings
+
+        from repro.dp.accountant import _log_binomial_pmf
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            at_zero = _log_binomial_pmf(4, 8, 0.0)
+            at_one_truncated = _log_binomial_pmf(4, 8, 1.0)
+            at_one_full = _log_binomial_pmf(8, 8, 1.0)
+        # p = 0: point mass at i = 0.
+        assert at_zero[0] == 0.0
+        assert np.all(at_zero[1:] == -np.inf)
+        # p = 1 with count < trials: the mass at i = trials is out of range.
+        assert np.all(at_one_truncated == -np.inf)
+        # p = 1 with count == trials: point mass at i = trials.
+        assert at_one_full[8] == 0.0
+        assert np.all(at_one_full[:8] == -np.inf)
+        # Interior probabilities still normalise: logsumexp(full pmf) == 0.
+        full = _log_binomial_pmf(8, 8, 0.3)
+        assert np.log(np.sum(np.exp(full))) == pytest.approx(0.0, abs=1e-12)
+        with pytest.raises(PrivacyError):
+            _log_binomial_pmf(4, 8, 1.5)
+
     def test_matches_brute_force_mixture(self):
         """Eq. 8 computed naively in float space for small parameters."""
         from scipy.special import comb

@@ -61,6 +61,30 @@ class TestSchedulers:
         with pytest.raises(TrainingError):
             CosineLR(optimizer, total=0)
 
+    def test_zero_rate_optimizer_rejected_cleanly(self):
+        """Regression: a duck-typed optimizer with ``learning_rate == 0``
+        used to surface as ZeroDivisionError in CosineLR's floor factor."""
+
+        class FrozenOptimizer:
+            learning_rate = 0.0
+
+        for build in (
+            lambda: ConstantLR(FrozenOptimizer()),
+            lambda: CosineLR(FrozenOptimizer(), total=10, floor=0.01),
+            lambda: StepDecayLR(FrozenOptimizer(), period=2),
+        ):
+            with pytest.raises(TrainingError, match="positive"):
+                build()
+
+    def test_cosine_floor_above_base_rejected(self):
+        with pytest.raises(TrainingError, match="floor"):
+            CosineLR(make_optimizer(0.01), total=10, floor=0.1)
+
+    def test_load_state_dict_rejects_non_positive_base_rate(self):
+        scheduler = ConstantLR(make_optimizer())
+        with pytest.raises(TrainingError, match="positive"):
+            scheduler.load_state_dict({"iteration": 1, "base_learning_rate": 0.0})
+
     def test_state_dict_round_trip_resumes_schedule(self):
         optimizer = make_optimizer(0.1)
         scheduler = StepDecayLR(optimizer, period=2, gamma=0.5)

@@ -1,0 +1,427 @@
+"""Tests for the observability subsystem (`repro.obs`).
+
+Covers the three legs — structured logging, metrics/spans, and the
+run-record / privacy-ledger machinery — plus the end-to-end pipeline
+integration invariants the issue pins down:
+
+* the final ledger ε equals ``PrivacyAccountant.epsilon(delta)`` exactly
+  (same grid search, bit-for-bit), at *every* intermediate step;
+* stage spans carry the same timings as the legacy fields
+  (``SamplingStats.stage_seconds``, ``TrainingHistory.seconds``);
+* a ``--run-record`` file round-trips through ``json.loads`` line by line
+  and passes :func:`validate_run_record`;
+* enabling observability never perturbs numerical results (RNG streams
+  are untouched).
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PrivIMConfig, PrivIMStar
+from repro.dp.accountant import PrivacyAccountant
+from repro.errors import PrivacyError
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.obs import (
+    NULL_OBS,
+    MemoryHandler,
+    MetricsRegistry,
+    Observability,
+    PrivacyLedger,
+    RunRecorder,
+    configure_logging,
+    ensure_obs,
+    get_logger,
+    parse_level,
+    read_run_record,
+    reset_logging,
+    summarize_run_record,
+    validate_run_record,
+)
+from repro.obs.logging import DEBUG, INFO, OFF, RESERVED_KEYS, _CONFIG
+
+
+@pytest.fixture(autouse=True)
+def silent_logging():
+    """Every test starts and ends with the silent default config."""
+    reset_logging()
+    yield
+    reset_logging()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(180, 3, 0.3, rng=33)
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        epsilon=4.0,
+        subgraph_size=10,
+        threshold=4,
+        iterations=4,
+        batch_size=4,
+        sampling_rate=0.6,
+        hidden_features=8,
+        num_layers=2,
+        walk_length=200,
+        rng=5,
+    )
+    defaults.update(overrides)
+    return PrivIMConfig(**defaults)
+
+
+# --------------------------------------------------------------------- #
+# Logging
+# --------------------------------------------------------------------- #
+class TestLogging:
+    def test_silent_by_default(self):
+        handler = MemoryHandler()
+        # No configure_logging call: records must be dropped at OFF.
+        assert _CONFIG.level == OFF
+        get_logger("repro.test").error("boom")
+        assert handler.records == []
+
+    def test_level_filtering(self):
+        handler = MemoryHandler()
+        configure_logging("info", handler=handler)
+        logger = get_logger("repro.test")
+        logger.debug("dropped")
+        logger.info("kept")
+        logger.warning("kept_too", code=7)
+        assert [r.event for r in handler.records] == ["kept", "kept_too"]
+        assert handler.records[1].fields == {"code": 7}
+
+    def test_parse_level(self):
+        assert parse_level("DEBUG") == DEBUG
+        assert parse_level(INFO) == INFO
+        with pytest.raises(ValueError):
+            parse_level("verbose")
+
+    def test_json_schema(self):
+        handler = MemoryHandler()
+        configure_logging("debug", handler=handler)
+        get_logger("repro.trainer").info(
+            "iteration", loss=np.float64(0.5), step=3
+        )
+        payload = json.loads(handler.records[0].to_json())
+        # Stable schema: reserved keys always present and first.
+        assert list(payload)[:4] == list(RESERVED_KEYS)
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.trainer"
+        assert payload["event"] == "iteration"
+        assert payload["loss"] == 0.5  # numpy coerced to plain float
+        assert payload["step"] == 3
+
+    def test_reserved_keys_win_on_collision(self):
+        handler = MemoryHandler()
+        configure_logging("debug", handler=handler)
+        get_logger("repro.test").info("real_event", **{"logger": "forged"})
+        payload = json.loads(handler.records[0].to_json())
+        assert payload["event"] == "real_event"
+        assert payload["logger"] == "repro.test"
+
+    def test_text_format_contains_fields(self):
+        handler = MemoryHandler()
+        configure_logging("debug", handler=handler)
+        get_logger("repro.test").warning("cap_hit", rate=0.5)
+        line = handler.records[0].to_text()
+        assert "WARNING" in line
+        assert "cap_hit" in line
+        assert "rate=0.5" in line
+
+
+# --------------------------------------------------------------------- #
+# Metrics and spans
+# --------------------------------------------------------------------- #
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("walks").inc()
+        registry.counter("walks").inc(4)
+        registry.gauge("rate").set(0.25)
+        registry.histogram("t").observe(1.0)
+        registry.histogram("t").observe(3.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["walks"] == 5
+        assert snap["gauges"]["rate"] == 0.25
+        assert snap["histograms"]["t"] == {
+            "count": 2, "total": 4.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+        }
+
+    def test_span_nesting_builds_dotted_paths(self):
+        registry = MetricsRegistry()
+        with registry.span("train"):
+            with registry.span("iteration"):
+                pass
+            with registry.span("iteration"):
+                pass
+        paths = [path for path, _ in registry.span_log]
+        assert paths == ["train.iteration", "train.iteration", "train"]
+        assert registry.histogram("span.train.iteration").count == 2
+        # The parent's wall time includes both children.
+        assert registry.span_seconds("train") >= registry.span_seconds(
+            "train.iteration"
+        )
+
+    def test_span_measures_time(self):
+        registry = MetricsRegistry()
+        with registry.span("work") as span:
+            sum(range(1000))
+        assert span.seconds > 0.0
+        assert registry.span_seconds("work") == span.seconds
+
+    def test_disabled_registry_is_noop_but_spans_still_time(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc()
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(1.0)
+        with registry.span("quiet") as span:
+            sum(range(1000))
+        assert span.seconds > 0.0  # the perf_counter pair survives
+        assert registry.span_log == []
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_null_obs_span(self):
+        with NULL_OBS.span("anything") as span:
+            sum(range(1000))
+        assert span.seconds > 0.0
+        assert ensure_obs(None) is NULL_OBS
+        custom = Observability()
+        assert ensure_obs(custom) is custom
+
+
+# --------------------------------------------------------------------- #
+# Run records
+# --------------------------------------------------------------------- #
+class TestRunRecord:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunRecorder(path) as recorder:
+            recorder.record("run_start", method="test")
+            recorder.record("span", name="a", seconds=0.5)
+            recorder.record("run_end", epsilon=np.float64(1.5))
+        # Every line must parse standalone.
+        with open(path, encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle]
+        assert [e["type"] for e in lines] == ["run_start", "span", "run_end"]
+        assert lines[2]["epsilon"] == 1.5
+        assert read_run_record(path) == lines
+
+    def test_requires_type_key(self):
+        recorder = RunRecorder()
+        with pytest.raises(ValueError):
+            recorder.record_event({"name": "no type"})
+
+    def test_summarize(self):
+        events = [
+            {"type": "run_start"},
+            {"type": "span", "name": "s1", "seconds": 0.25},
+            {"type": "span", "name": "s1", "seconds": 0.25},
+            {"type": "ledger", "step": 1, "epsilon": 1.0},
+            {"type": "ledger", "step": 2, "epsilon": 1.5},
+            {"type": "iteration", "loss": 0.1},
+        ]
+        summary = summarize_run_record(events)
+        assert summary["events"] == 6
+        assert summary["counts"]["span"] == 2
+        assert summary["span_seconds"]["s1"] == 0.5
+        assert summary["ledger"] == [(1, 1.0), (2, 1.5)]
+        assert summary["final_epsilon"] == 1.5
+        assert summary["iterations"] == 1
+
+    def test_validate_rejects_decreasing_epsilon(self):
+        events = [
+            {"type": "ledger", "step": 1, "epsilon": 2.0},
+            {"type": "ledger", "step": 2, "epsilon": 1.0},
+        ]
+        with pytest.raises(ValueError, match="epsilon"):
+            validate_run_record(events)
+
+    def test_validate_rejects_non_increasing_steps(self):
+        events = [
+            {"type": "ledger", "step": 1, "epsilon": 1.0},
+            {"type": "ledger", "step": 1, "epsilon": 1.5},
+        ]
+        with pytest.raises(ValueError, match="step"):
+            validate_run_record(events)
+
+    def test_validate_rejects_bad_span(self):
+        with pytest.raises(ValueError, match="span"):
+            validate_run_record([{"type": "span", "name": "s"}])
+
+    def test_validate_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "ok"}\nnot json\n')
+        with pytest.raises(ValueError, match="invalid JSON"):
+            validate_run_record(str(path))
+
+
+# --------------------------------------------------------------------- #
+# Privacy ledger
+# --------------------------------------------------------------------- #
+class TestPrivacyLedger:
+    def test_delta_validated(self):
+        with pytest.raises(PrivacyError):
+            PrivacyLedger(0.0)
+        with pytest.raises(PrivacyError):
+            PrivacyLedger(1.0)
+
+    def test_running_epsilon_matches_accountant_at_every_step(self):
+        delta = 1e-5
+        accountant = PrivacyAccountant(
+            sigma=1.2, batch_size=8, num_subgraphs=100, max_occurrences=4
+        )
+        ledger = PrivacyLedger(delta)
+        accountant.attach_ledger(ledger)
+        reference = PrivacyAccountant(
+            sigma=1.2, batch_size=8, num_subgraphs=100, max_occurrences=4
+        )
+        for _ in range(12):
+            accountant.step()
+            reference.step()
+            # Exact equality: the ledger runs the same α grid search.
+            assert ledger.events[-1]["epsilon"] == reference.epsilon(delta)
+        assert ledger.steps == 12
+        assert ledger.final_epsilon == accountant.epsilon(delta)
+        steps = [event["step"] for event in ledger.events]
+        assert steps == list(range(1, 13))
+        epsilons = [event["epsilon"] for event in ledger.events]
+        assert epsilons == sorted(epsilons)  # budget only ever grows
+
+    def test_multi_count_step_emits_one_event_per_step(self):
+        accountant = PrivacyAccountant(
+            sigma=1.0, batch_size=4, num_subgraphs=50, max_occurrences=4
+        )
+        accountant.attach_ledger(PrivacyLedger(1e-4))
+        accountant.step(3)
+        assert accountant.steps == 3
+        assert accountant.ledger.steps == 3
+
+    def test_sink_receives_events(self):
+        received = []
+        accountant = PrivacyAccountant(
+            sigma=1.0, batch_size=4, num_subgraphs=50, max_occurrences=4
+        )
+        accountant.attach_ledger(PrivacyLedger(1e-4, sink=received.append))
+        accountant.step(2)
+        assert [event["type"] for event in received] == ["ledger", "ledger"]
+        assert received[-1]["best_alpha"] > 1.0
+        assert np.isfinite(received[-1]["gamma"])
+
+
+# --------------------------------------------------------------------- #
+# End-to-end pipeline integration
+# --------------------------------------------------------------------- #
+class TestPipelineIntegration:
+    @pytest.fixture(scope="class")
+    def observed_run(self, tmp_path_factory):
+        graph = powerlaw_cluster_graph(180, 3, 0.3, rng=33)
+        path = str(tmp_path_factory.mktemp("obs") / "run.jsonl")
+        with RunRecorder(path) as recorder:
+            obs = Observability(recorder=recorder)
+            pipeline = PrivIMStar(fast_config(), obs=obs)
+            result = pipeline.fit(graph)
+        return graph, pipeline, result, obs, path
+
+    def test_ledger_final_epsilon_equals_result_epsilon(self, observed_run):
+        _, pipeline, result, obs, _ = observed_run
+        ledger = pipeline.ledger
+        assert ledger is not None
+        assert ledger.final_epsilon == result.epsilon
+        assert ledger.steps == result.history.iterations
+
+    def test_run_record_validates_and_summarizes(self, observed_run):
+        _, _, result, _, path = observed_run
+        summary = validate_run_record(path)
+        assert summary["final_epsilon"] == result.epsilon
+        assert summary["iterations"] == result.history.iterations
+        assert summary["counts"]["run_start"] == 1
+        assert summary["counts"]["run_end"] == 1
+        assert summary["counts"]["metrics"] == 1
+        assert summary["counts"]["sampling"] == 1
+        assert summary["counts"]["calibration"] == 1
+
+    def test_stage_spans_match_legacy_timing_fields(self, observed_run):
+        _, _, result, obs, _ = observed_run
+        stats = result.sampling_stats
+        metrics = obs.metrics
+        # Spans ARE the legacy measurement now: exact equality, not 5%.
+        assert metrics.span_seconds(
+            "pipeline.sampling.sampling.stage1"
+        ) == stats.stage_seconds["stage1"]
+        assert metrics.span_seconds(
+            "pipeline.sampling.sampling.stage2"
+        ) == stats.stage_seconds["stage2"]
+        iteration_total = metrics.span_seconds("pipeline.training.train.iteration")
+        assert iteration_total == pytest.approx(sum(result.history.seconds))
+        assert result.preprocessing_seconds == metrics.span_seconds(
+            "pipeline.sampling"
+        )
+
+    def test_metrics_mirror_sampling_stats(self, observed_run):
+        _, _, result, obs, _ = observed_run
+        stats = result.sampling_stats
+        snap = obs.metrics.snapshot()
+        assert snap["counters"]["sampling.walks_attempted"] == stats.walks_attempted
+        assert snap["counters"]["sampling.walks_rejected"] == stats.walks_rejected
+        assert snap["gauges"]["sampling.cap_hit_rate"] == stats.cap_hit_rate
+        assert snap["gauges"]["train.clip_fraction"] is not None
+        assert snap["gauges"]["train.noise_norm"] is not None
+
+    def test_observability_does_not_perturb_results(self, observed_run):
+        graph, _, observed_result, _, _ = observed_run
+        plain = PrivIMStar(fast_config()).fit(graph)
+        assert plain.epsilon == observed_result.epsilon
+        assert plain.sigma == observed_result.sigma
+        np.testing.assert_array_equal(
+            np.asarray(plain.history.losses),
+            np.asarray(observed_result.history.losses),
+        )
+
+    def test_run_record_report(self, observed_run):
+        from repro.experiments.reporting import run_record_report
+
+        _, _, result, _, path = observed_run
+        report = run_record_report(path)
+        rendered = report.render()
+        assert "pipeline.training" in rendered
+        assert f"final epsilon: {result.epsilon:.6f}" in rendered
+        (steps, epsilons) = report.series_dict()["epsilon(step)"]
+        assert list(steps) == list(range(1, result.history.iterations + 1))
+        assert epsilons[-1] == result.epsilon
+
+    def test_checkpoint_events_recorded(self, tmp_path):
+        graph = powerlaw_cluster_graph(120, 3, 0.3, rng=11)
+        record_path = str(tmp_path / "ckpt_run.jsonl")
+        ckpt_path = str(tmp_path / "train.ckpt")
+        with RunRecorder(record_path) as recorder:
+            obs = Observability(recorder=recorder)
+            config = fast_config(
+                iterations=3, checkpoint_every=1, checkpoint_path=ckpt_path
+            )
+            PrivIMStar(config, obs=obs).fit(graph)
+        events = read_run_record(record_path)
+        checkpoints = [e for e in events if e["type"] == "checkpoint"]
+        assert len(checkpoints) == 3
+        assert all(e["action"] == "write" for e in checkpoints)
+        assert validate_run_record(events)["counts"]["checkpoint"] == 3
+
+
+# --------------------------------------------------------------------- #
+# Guard: obs imports emit no warnings and stay dependency-free
+# --------------------------------------------------------------------- #
+def test_obs_is_stdlib_plus_numpy_only():
+    import repro.obs as obs_module
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        import importlib
+
+        importlib.reload(obs_module)

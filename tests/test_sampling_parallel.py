@@ -206,6 +206,31 @@ class TestStats:
         assert "stage1" in stats.stage_seconds
         assert stats.total_seconds >= 0.0
 
+    def test_stage_seconds_always_has_both_keys(self, clustered_graph):
+        """Regression: SCS-only configs used to leave ``stage2`` out of
+        ``stage_seconds`` entirely, so timing consumers needed defensive
+        ``.get`` calls.  Both keys are now always present (0.0 if skipped)."""
+        with_boundary = sample_dual_stage(
+            clustered_graph,
+            DualStageSamplingConfig(subgraph_size=10, threshold=2, sampling_rate=1.0),
+            rng=0,
+        ).stats
+        scs_only = sample_dual_stage(
+            clustered_graph,
+            DualStageSamplingConfig(
+                subgraph_size=10,
+                threshold=2,
+                sampling_rate=1.0,
+                include_boundary=False,
+            ),
+            rng=0,
+        ).stats
+        for stats in (with_boundary, scs_only):
+            assert set(stats.stage_seconds) == {"stage1", "stage2"}
+            assert all(s >= 0.0 for s in stats.stage_seconds.values())
+        assert scs_only.stage_seconds["stage2"] == 0.0
+        assert with_boundary.stage_seconds["stage2"] > 0.0
+
     def test_render_sampling_stats(self, clustered_graph):
         from repro.sampling.diagnostics import render_sampling_stats
 
