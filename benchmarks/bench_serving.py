@@ -1,0 +1,107 @@
+"""Micro-benchmarks of the serving layer's cache tiers.
+
+Each bench isolates one cost tier of :class:`repro.serving.engine.ScoringEngine`
+so the value of each cache shows up as a timing gap:
+
+* cold score — fresh engine per round: featurise + one GNN forward pass.
+* warm score — same engine, same graph: a pure cache lookup.
+* cold vs warm top-k — the result LRU on top of the score cache.
+* spread estimate — the Monte-Carlo tier, cached by full request tuple.
+
+All randomness is seeded through :func:`repro.utils.rng.bench_seed`, so the
+graph, the model weights, and the served numbers are identical run to run.
+"""
+
+import numpy as np
+
+from repro.gnn.models import build_gnn
+from repro.graphs.generators import barabasi_albert_graph
+from repro.serving.engine import ScoringEngine
+from repro.serving.registry import ModelArtifact, PrivacyProvenance
+from repro.utils.rng import bench_seed
+
+
+def _artifact() -> ModelArtifact:
+    model = build_gnn("gcn", hidden_features=16, num_layers=2, rng=bench_seed())
+    return ModelArtifact(
+        model=model,
+        privacy=PrivacyProvenance(
+            epsilon=4.0,
+            delta=1e-3,
+            sigma=0.7,
+            steps=30,
+            max_occurrences=4,
+            num_subgraphs=64,
+            clip_bound=1.0,
+        ),
+        method="PrivIM*",
+    )
+
+
+def _graph():
+    return barabasi_albert_graph(2000, 5, rng=bench_seed())
+
+
+def test_bench_score_cold(benchmark):
+    """Featurisation + forward pass with every cache empty."""
+    artifact = _artifact()
+    graph = _graph()
+    fingerprint = ScoringEngine(artifact).fingerprint(graph)
+
+    def cold():
+        return ScoringEngine(artifact).scores(graph, fingerprint=fingerprint)
+
+    scores = benchmark(cold)
+    assert scores.shape == (graph.num_nodes,)
+
+
+def test_bench_score_warm(benchmark):
+    """The same query against a warmed engine — a cache lookup."""
+    engine = ScoringEngine(_artifact())
+    graph = _graph()
+    fingerprint = engine.fingerprint(graph)
+    engine.scores(graph, fingerprint=fingerprint)
+    scores = benchmark(engine.scores, graph, fingerprint=fingerprint)
+    assert scores.shape == (graph.num_nodes,)
+    assert engine.stats()["forward_passes"] == 1
+
+
+def test_bench_fingerprint(benchmark):
+    """The per-request overhead every cached path still pays."""
+    engine = ScoringEngine(_artifact())
+    graph = _graph()
+    digest = benchmark(engine.fingerprint, graph)
+    assert len(digest) == 64
+
+
+def test_bench_top_k_cold(benchmark):
+    artifact = _artifact()
+    graph = _graph()
+
+    def cold():
+        return ScoringEngine(artifact).top_k_seeds(graph, 50)
+
+    seeds = benchmark(cold)
+    assert len(seeds) == 50
+
+
+def test_bench_top_k_warm(benchmark):
+    engine = ScoringEngine(_artifact())
+    graph = _graph()
+    expected = engine.top_k_seeds(graph, 50)
+    seeds = benchmark(engine.top_k_seeds, graph, 50)
+    assert seeds == expected
+    assert engine.stats()["results"]["hits"] > 0
+
+
+def test_bench_spread_cached(benchmark):
+    """Spread replay: the Monte-Carlo cost paid once, then LRU-served."""
+    engine = ScoringEngine(_artifact())
+    graph = _graph()
+    seeds = engine.top_k_seeds(graph, 10)
+    first = engine.estimate_spread(graph, seeds, model="ic", num_simulations=50)
+    spread = benchmark(
+        engine.estimate_spread, graph, seeds, model="ic", num_simulations=50
+    )
+    assert spread == first
+    assert np.isfinite(spread)

@@ -171,17 +171,24 @@ class EGNPipeline:
             history=history,
             preprocessing_seconds=preprocessing_seconds,
             training_seconds=history.total_seconds,
+            model=self.model,
+            config=config,
+            method=self.method_name,
         )
         return self.result
 
-    def select_seeds(self, graph: Graph, k: int) -> list[int]:
+    def select_seeds(
+        self, graph: Graph, k: int, *, features: np.ndarray | None = None
+    ) -> list[int]:
         """Top-``k`` seed set by model score."""
         if self.model is None:
             raise TrainingError("call fit() before select_seeds()")
-        return select_top_k_seeds(self.model, graph, k)
+        return select_top_k_seeds(self.model, graph, k, features=features)
 
-    def score_nodes(self, graph: Graph) -> np.ndarray:
+    def score_nodes(
+        self, graph: Graph, *, features: np.ndarray | None = None
+    ) -> np.ndarray:
         """Per-node seed probabilities."""
         if self.model is None:
             raise TrainingError("call fit() before score_nodes()")
-        return score_nodes(self.model, graph)
+        return score_nodes(self.model, graph, features=features)

@@ -7,12 +7,16 @@ Commands:
 * ``seeds``      — load a checkpoint and print the top-k seed set;
 * ``datasets``   — list the dataset registry (Table I);
 * ``experiment`` — regenerate one of the paper's tables/figures;
-* ``calibrate``  — print the noise multiplier for a privacy target.
+* ``calibrate``  — print the noise multiplier for a privacy target;
+* ``publish``    — train a model and publish it into a serving registry;
+* ``serve``      — answer influence queries over HTTP from a published
+  model (inference spends no additional privacy budget).
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 
 from repro.core.checkpoint import load_model, save_model
@@ -96,6 +100,48 @@ def _build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--batch-size", type=int, default=16)
     calibrate.add_argument("--num-subgraphs", type=int, default=300)
     calibrate.add_argument("--max-occurrences", type=int, default=4)
+
+    publish = commands.add_parser(
+        "publish", help="train a model and publish it into a serving registry"
+    )
+    publish.add_argument("--registry", required=True,
+                         help="registry directory (created if missing)")
+    publish.add_argument("--name", default="default",
+                         help="model name inside the registry")
+    publish.add_argument("--dataset", default="lastfm", choices=sorted(DATASETS))
+    publish.add_argument("--scale", type=float, default=0.1)
+    publish.add_argument("--epsilon", type=float, default=4.0,
+                         help="privacy budget; <= 0 means non-private")
+    publish.add_argument("--method", default="privim-star",
+                         choices=["privim-star", "privim-scs", "privim"])
+    publish.add_argument("--model", default="grat")
+    publish.add_argument("--subgraph-size", type=int, default=30)
+    publish.add_argument("--threshold", type=int, default=4)
+    publish.add_argument("--iterations", type=int, default=40)
+    publish.add_argument("--seed", type=int, default=0)
+    publish.add_argument("--workers", type=int, default=1)
+
+    serve = commands.add_parser(
+        "serve", help="serve influence queries from a published model"
+    )
+    serve.add_argument("--registry", required=True, help="registry directory")
+    serve.add_argument("--name", default="default", help="model name to serve")
+    serve.add_argument("--model-version", type=int, default=None,
+                       help="version to serve (default: latest)")
+    serve.add_argument("--dataset", default="lastfm", choices=sorted(DATASETS),
+                       help="graph requests are answered on")
+    serve.add_argument("--scale", type=float, default=0.1)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8099)
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="concurrently executing requests")
+    serve.add_argument("--queue-limit", type=int, default=32,
+                       help="requests allowed to wait; beyond this -> 503")
+    serve.add_argument("--deadline-ms", type=int, default=5000,
+                       help="default per-request deadline")
+    serve.add_argument("--log-level", default=None,
+                       choices=["debug", "info", "warning", "error"])
+    serve.add_argument("--log-json", action="store_true")
 
     audit = commands.add_parser("audit", help="membership-inference audit")
     audit.add_argument("--dataset", default="bitcoin", choices=sorted(DATASETS))
@@ -257,6 +303,94 @@ def _command_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_pipeline(args: argparse.Namespace):
+    """The pipeline the ``publish`` command trains (mirrors ``train``)."""
+    config = PrivIMConfig(
+        epsilon=args.epsilon if args.epsilon > 0 else None,
+        model=args.model,
+        subgraph_size=args.subgraph_size,
+        threshold=args.threshold,
+        iterations=args.iterations,
+        workers=args.workers,
+        rng=args.seed,
+    )
+    if args.method == "privim":
+        return PrivIM(config)
+    return PrivIMStar(config, include_boundary=args.method == "privim-star")
+
+
+def _command_publish(args: argparse.Namespace) -> int:
+    from repro.serving import ModelRegistry
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    train_graph, _ = split_graph(graph, 0.5, rng=args.seed)
+    pipeline = _build_pipeline(args)
+    result = pipeline.fit(train_graph)
+    registry = ModelRegistry(args.registry)
+    version = registry.publish(
+        result.build_artifact(dataset=args.dataset, scale=args.scale, seed=args.seed),
+        name=args.name,
+    )
+    print(f"registry       : {args.registry}")
+    print(f"published      : {args.name} v{version}")
+    print(f"method         : {pipeline.method_name}")
+    print(f"achieved eps   : {result.epsilon:.4f} (delta={result.delta:.2e})")
+    print(f"artifact       : {registry.artifact_path(args.name, version)}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serving import InfluenceService, ModelRegistry, ServiceConfig
+    from repro.serving.http import make_server
+
+    if args.log_level is not None or args.log_json:
+        configure_logging(args.log_level or "info", json_lines=args.log_json)
+    registry = ModelRegistry(args.registry)
+    version = args.model_version
+    if version is None:
+        version = registry.latest(args.name)
+    artifact = registry.load(args.name, version)
+    graph = load_dataset(args.dataset, scale=args.scale)
+    service = InfluenceService(
+        artifact,
+        graph,
+        model_name=args.name,
+        model_version=version,
+        config=ServiceConfig(
+            max_inflight=args.max_inflight,
+            queue_limit=args.queue_limit,
+            default_deadline=args.deadline_ms / 1000.0,
+        ),
+    )
+    server = make_server(
+        service, host=args.host, port=args.port, registry=registry
+    )
+    host, port = server.server_address[:2]
+    privacy = artifact.privacy
+    eps = "inf" if privacy.epsilon == float("inf") else f"{privacy.epsilon:.4f}"
+    print(f"serving        : {args.name} v{version} ({artifact.method})")
+    print(f"privacy        : eps={eps} delta={privacy.delta:.2e} "
+          "(inference spends no additional budget)")
+    print(f"graph          : {args.dataset} (|V|={graph.num_nodes})")
+    print(f"listening      : http://{host}:{port}", flush=True)
+
+    def _request_shutdown(signum, frame):
+        raise KeyboardInterrupt
+
+    # SIGTERM drains like Ctrl-C — background jobs in non-interactive
+    # shells (CI) inherit SIGINT ignored, so plain `kill` must also work.
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown_gracefully()
+        server.server_close()
+        print("shutdown       : clean")
+    return 0
+
+
 def _command_audit(args: argparse.Namespace) -> int:
     from repro.dp.audit import audit_node_membership
 
@@ -308,6 +442,10 @@ def main(argv: list[str] | None = None) -> int:
         return _command_experiment(args)
     if args.command == "audit":
         return _command_audit(args)
+    if args.command == "publish":
+        return _command_publish(args)
+    if args.command == "serve":
+        return _command_serve(args)
     return _command_calibrate(args)
 
 

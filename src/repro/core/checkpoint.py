@@ -38,6 +38,16 @@ _HEADER_KEY = "__repro_model_config__"
 _TRAINING_HEADER_KEY = "__repro_training_state__"
 _MAGIC = b"REPRO-CKPT-v1"
 
+__all__ = [
+    "load_model",
+    "load_training_checkpoint",
+    "normalize_checkpoint_path",
+    "read_checksummed",
+    "save_model",
+    "save_training_checkpoint",
+    "write_checksummed",
+]
+
 
 def normalize_checkpoint_path(path: str | os.PathLike) -> str:
     """Append ``.npz`` when missing, so save and load agree on the filename.
@@ -137,6 +147,67 @@ def _atomic_write(path: str, blob: bytes) -> None:
         os.close(directory_fd)
 
 
+def write_checksummed(
+    path: str | os.PathLike, magic: bytes, data: bytes
+) -> str:
+    """Atomically write ``data`` prefixed by a checksum header line.
+
+    The header is ``<magic> sha256=<hex> size=<bytes>\\n`` followed by the
+    raw payload — the framing both training checkpoints and serving
+    artifacts use.  Returns the path written.
+    """
+    path = os.fspath(path)
+    digest = hashlib.sha256(data).hexdigest()
+    prefix = magic + f" sha256={digest} size={len(data)}\n".encode("ascii")
+    _atomic_write(path, prefix + data)
+    return path
+
+
+def read_checksummed(path: str | os.PathLike, magic: bytes, *, kind: str) -> bytes:
+    """Read and verify a :func:`write_checksummed` file; return the payload.
+
+    Args:
+        path: file to read.
+        magic: the expected leading magic bytes.
+        kind: human name used in error messages (e.g. ``"training
+            checkpoint"``).
+
+    Raises:
+        TrainingError: if the file is missing, carries the wrong magic, has
+            a malformed header, is truncated, or fails its SHA-256 checksum.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except FileNotFoundError:
+        raise TrainingError(f"no {kind} at {path}") from None
+    except OSError as error:
+        raise TrainingError(f"cannot read {kind} {path}: {error}") from error
+
+    newline = blob.find(b"\n")
+    if not blob.startswith(magic + b" ") or newline < 0:
+        raise TrainingError(f"{path} is not a repro {kind}")
+    try:
+        fields = dict(
+            part.split(b"=", 1) for part in blob[len(magic) + 1 : newline].split(b" ")
+        )
+        expected_digest = fields[b"sha256"].decode("ascii")
+        expected_size = int(fields[b"size"])
+    except (KeyError, ValueError) as error:
+        raise TrainingError(f"{path} has a malformed {kind} header") from error
+
+    data = blob[newline + 1 :]
+    if len(data) != expected_size:
+        raise TrainingError(
+            f"{path} is truncated: header promises {expected_size} payload "
+            f"bytes, file holds {len(data)}"
+        )
+    if hashlib.sha256(data).hexdigest() != expected_digest:
+        raise TrainingError(f"{path} failed its SHA-256 checksum; the file is corrupt")
+    return data
+
+
 def save_training_checkpoint(state: dict, path: str | os.PathLike) -> str:
     """Atomically persist a trainer ``state_dict``; returns the path written.
 
@@ -181,11 +252,7 @@ def save_training_checkpoint(state: dict, path: str | os.PathLike) -> str:
 
     buffer = io.BytesIO()
     np.savez(buffer, **payload)
-    data = buffer.getvalue()
-    digest = hashlib.sha256(data).hexdigest()
-    prefix = _MAGIC + f" sha256={digest} size={len(data)}\n".encode("ascii")
-    _atomic_write(path, prefix + data)
-    return path
+    return write_checksummed(path, _MAGIC, buffer.getvalue())
 
 
 def load_training_checkpoint(path: str | os.PathLike) -> dict:
@@ -196,37 +263,7 @@ def load_training_checkpoint(path: str | os.PathLike) -> dict:
             truncated, fails its checksum, or cannot be decoded.
     """
     path = normalize_checkpoint_path(path)
-    try:
-        with open(path, "rb") as handle:
-            blob = handle.read()
-    except FileNotFoundError:
-        raise TrainingError(f"no training checkpoint at {path}") from None
-    except OSError as error:
-        raise TrainingError(f"cannot read training checkpoint {path}: {error}") from error
-
-    newline = blob.find(b"\n")
-    if not blob.startswith(_MAGIC + b" ") or newline < 0:
-        raise TrainingError(
-            f"{path} is not a repro training checkpoint "
-            "(model-only archives load with load_model)"
-        )
-    try:
-        fields = dict(
-            part.split(b"=", 1) for part in blob[len(_MAGIC) + 1 : newline].split(b" ")
-        )
-        expected_digest = fields[b"sha256"].decode("ascii")
-        expected_size = int(fields[b"size"])
-    except (KeyError, ValueError) as error:
-        raise TrainingError(f"{path} has a malformed checkpoint header") from error
-
-    data = blob[newline + 1 :]
-    if len(data) != expected_size:
-        raise TrainingError(
-            f"{path} is truncated: header promises {expected_size} payload "
-            f"bytes, file holds {len(data)}"
-        )
-    if hashlib.sha256(data).hexdigest() != expected_digest:
-        raise TrainingError(f"{path} failed its SHA-256 checksum; the file is corrupt")
+    data = read_checksummed(path, _MAGIC, kind="training checkpoint")
 
     try:
         with np.load(io.BytesIO(data)) as archive:

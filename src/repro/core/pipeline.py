@@ -139,6 +139,13 @@ class PipelineResult:
         clip_bound: the per-subgraph clip norm the trainer actually used
             (``None`` in the non-private mode, which neither clips nor
             noises).
+        model: the trained GNN, carried so the result is *publishable* on
+            its own — previously the trained ``GNNConfig`` was not
+            recoverable from saved weights plus a bare result, and
+            publishing meant hand-reassembling weights, architecture, and
+            accounting state from three objects.
+        config: the frozen pipeline configuration the run used.
+        method: pipeline name (``PrivIM*``, ``PrivIM``, …).
     """
 
     num_subgraphs: int
@@ -154,6 +161,67 @@ class PipelineResult:
     stage2_count: int = 0
     sampling_stats: SamplingStats | None = None
     clip_bound: float | None = None
+    model: object | None = field(default=None, repr=False)
+    config: object | None = field(default=None, repr=False)
+    method: str = ""
+
+    # ------------------------------------------------------------------ #
+    def _pipeline_config_json(self) -> dict:
+        """JSON-safe snapshot of ``config`` (rng reduced to a seed/None)."""
+        if self.config is None:
+            return {}
+        from dataclasses import asdict, is_dataclass
+
+        if not is_dataclass(self.config):
+            return {}
+        snapshot = asdict(self.config)
+        rng = snapshot.get("rng")
+        if rng is not None and not isinstance(rng, int):
+            snapshot["rng"] = None  # generator objects are not JSON-safe
+        return snapshot
+
+    def build_artifact(self, **metadata):
+        """The :class:`~repro.serving.registry.ModelArtifact` of this run.
+
+        ``metadata`` keys (dataset name, operator tags, …) are stored
+        verbatim in the artifact header.
+        """
+        # Imported lazily: core must not depend on serving at import time.
+        from repro.serving.registry import ModelArtifact, PrivacyProvenance
+
+        if self.model is None:
+            raise TrainingError(
+                "this PipelineResult carries no trained model; only results "
+                "returned by fit() on this repo version are publishable"
+            )
+        return ModelArtifact(
+            model=self.model,
+            privacy=PrivacyProvenance(
+                epsilon=float(self.epsilon),
+                delta=float(self.delta),
+                sigma=float(self.sigma),
+                steps=self.history.iterations,
+                max_occurrences=int(self.max_occurrences),
+                num_subgraphs=int(self.num_subgraphs),
+                clip_bound=self.clip_bound,
+            ),
+            pipeline_config=self._pipeline_config_json(),
+            method=self.method,
+            metadata=dict(metadata),
+        )
+
+    def export_artifact(self, path, **metadata) -> str:
+        """Write this run as a serving artifact; returns the path written.
+
+        The artifact bundles the trained weights, the exact ``GNNConfig``,
+        the frozen pipeline configuration, and the final privacy
+        accounting (ε, δ, σ, steps) — everything
+        :class:`repro.serving.engine.ScoringEngine` needs to serve the
+        model without retraining-time context.
+        """
+        from repro.serving.registry import save_artifact
+
+        return save_artifact(self.build_artifact(**metadata), path)
 
 
 class _BasePipeline:
@@ -301,6 +369,9 @@ class _BasePipeline:
             stage2_count=stage2,
             sampling_stats=sampling_stats,
             clip_bound=clip_bound,
+            model=self.model,
+            config=config,
+            method=self.method_name,
         )
         if obs.enabled:
             obs.event(
@@ -325,21 +396,26 @@ class _BasePipeline:
         k: int,
         *,
         rng: int | np.random.Generator | None = None,
+        features: np.ndarray | None = None,
     ) -> list[int]:
         """Top-``k`` seed set on ``graph`` using the trained model.
 
         ``rng`` seeds the score tie-break only (see
-        :func:`repro.core.seed_selection.select_top_k_seeds`).
+        :func:`repro.core.seed_selection.select_top_k_seeds`);
+        ``features`` passes precomputed node features through so repeated
+        evaluation on the same graph pays featurisation once.
         """
         if self.model is None:
             raise TrainingError("call fit() before select_seeds()")
-        return select_top_k_seeds(self.model, graph, k, rng=rng)
+        return select_top_k_seeds(self.model, graph, k, rng=rng, features=features)
 
-    def score_nodes(self, graph: Graph) -> np.ndarray:
+    def score_nodes(
+        self, graph: Graph, *, features: np.ndarray | None = None
+    ) -> np.ndarray:
         """Per-node seed probabilities on ``graph``."""
         if self.model is None:
             raise TrainingError("call fit() before score_nodes()")
-        return score_nodes(self.model, graph)
+        return score_nodes(self.model, graph, features=features)
 
 
 class PrivIM(_BasePipeline):

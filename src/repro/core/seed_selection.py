@@ -30,13 +30,39 @@ from repro.utils.rng import ensure_rng
 DEFAULT_TIE_BREAK_SEED = 0x5EED
 
 
-def score_nodes(model: GNN, graph: Graph) -> np.ndarray:
-    """Per-node seed probabilities on ``graph`` (shape ``(|V|,)``)."""
-    features = Tensor(degree_features(graph, dim=model.config.in_features))
+def score_nodes(
+    model: GNN,
+    graph: Graph,
+    *,
+    features: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-node seed probabilities on ``graph`` (shape ``(|V|,)``).
+
+    Args:
+        model: the trained GNN.
+        graph: the graph to score.
+        features: optional precomputed node features (what
+            :func:`repro.gnn.features.degree_features` would return for
+            ``graph`` at the model's input dimension).  Featurisation is
+            O(|V|·d); callers that score the same graph repeatedly — the
+            serving engine, the experiment harness's repeated evaluation —
+            compute it once and pass it through instead of paying it per
+            call.
+    """
+    if features is None:
+        feature_array = degree_features(graph, dim=model.config.in_features)
+    else:
+        feature_array = np.asarray(features, dtype=np.float64)
+        expected = (graph.num_nodes, model.config.in_features)
+        if feature_array.shape != expected:
+            raise TrainingError(
+                f"precomputed features must have shape {expected}, "
+                f"got {feature_array.shape}"
+            )
     edge_index = graph.edge_index()
     edge_weight = graph.edge_arrays()[2]
     with no_grad():
-        scores = model(features, edge_index, edge_weight)
+        scores = model(Tensor(feature_array), edge_index, edge_weight)
     return scores.numpy()
 
 
@@ -74,13 +100,15 @@ def select_top_k_seeds(
     k: int,
     *,
     rng: int | np.random.Generator | None = None,
+    features: np.ndarray | None = None,
 ) -> list[int]:
     """The top-``k`` nodes by model score (the paper's seed rule).
 
     ``rng`` seeds the tie-breaking permutation only — it never changes
     which score values win, just which of several *equally scored* nodes
-    fill the last seats.
+    fill the last seats.  ``features`` passes precomputed node features
+    through to :func:`score_nodes`.
     """
     if not 1 <= k <= graph.num_nodes:
         raise TrainingError(f"k must be in [1, {graph.num_nodes}], got {k}")
-    return top_k_by_score(score_nodes(model, graph), k, rng)
+    return top_k_by_score(score_nodes(model, graph, features=features), k, rng)

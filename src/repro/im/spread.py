@@ -62,8 +62,18 @@ def estimate_spread(
         steps: diffusion step cap (``None`` = to quiescence; SIS requires a
             finite cap and defaults to 10 when ``None``).
         num_simulations: Monte-Carlo repetitions for stochastic settings.
-        rng: seed or generator.
+        rng: explicit randomness for the Monte-Carlo paths.  An integer
+            seed builds a *fresh private generator inside this call*, so
+            equal seeds give bit-identical estimates and concurrent calls
+            (e.g. the threaded serving front-end) never contend on shared
+            generator state.  Passing a ``Generator`` instance shares that
+            stream with the caller — do not share one generator across
+            threads.  ``None`` draws OS entropy (non-reproducible).
     """
+    if num_simulations < 1:
+        raise GraphError(f"num_simulations must be >= 1, got {num_simulations}")
+    # Normalise here, once: every stochastic path below receives this
+    # generator explicitly; no module-global numpy state is ever touched.
     generator = ensure_rng(rng)
     name = model.lower()
     if name == "ic":

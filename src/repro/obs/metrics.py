@@ -62,15 +62,25 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary (count / total / min / max) of observed values."""
+    """Streaming summary (count / total / min / max) of observed values.
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    A bounded reservoir of the most recent :data:`SAMPLE_LIMIT` values
+    backs :meth:`quantile`, so latency percentiles (p50/p95 in the serving
+    layer's ``/metrics``) track recent behaviour with O(1) memory.
+    """
+
+    #: Ring-buffer capacity backing :meth:`quantile`.
+    SAMPLE_LIMIT = 1024
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_samples", "_cursor")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self._samples: list[float] = []
+        self._cursor = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -80,6 +90,28 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        if len(self._samples) < self.SAMPLE_LIMIT:
+            self._samples.append(value)
+        else:
+            self._samples[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self.SAMPLE_LIMIT
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``0 <= q <= 1``) of the sample reservoir.
+
+        Linear interpolation between order statistics; 0.0 when nothing
+        has been observed yet.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
     @property
     def mean(self) -> float:
@@ -197,6 +229,10 @@ class MetricsRegistry:
     def span(self, name: str, sink: Callable[[Span], None] | None = None) -> Span:
         """A new named span; records into the registry only when enabled."""
         return Span(self if self.enabled else None, name, sink)
+
+    def histograms(self) -> dict[str, Histogram]:
+        """Read-only view of every named histogram (for exporters)."""
+        return dict(self._histograms)
 
     def span_seconds(self, path: str) -> float:
         """Total wall time of all completed spans with exactly ``path``."""

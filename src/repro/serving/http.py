@@ -1,0 +1,191 @@
+"""Dependency-free threaded HTTP JSON API over an :class:`InfluenceService`.
+
+Built on ``http.server.ThreadingHTTPServer`` — one daemon thread per
+connection, no third-party framework.  Endpoints:
+
+==========  ======  ====================================================
+Path        Method  Meaning
+==========  ======  ====================================================
+/healthz    GET     liveness + served-model coordinates
+/metrics    GET     counters, latency p50/p95, queue depth, cache stats
+/v1/models  GET     registry listing (names, versions, privacy)
+/v1/score   POST    ``{"nodes": [...]?}`` → per-node scores
+/v1/seeds   POST    ``{"k": int}`` → top-k seed set
+/v1/spread  POST    ``{"seeds": [...], "diffusion": "ic"?}`` → spread
+==========  ======  ====================================================
+
+Error mapping: malformed payloads → 400, unknown paths → 404, oversized
+bodies → 413, saturation → 503 with a ``Retry-After`` header, missed
+deadlines → 504, anything unexpected → 500.  Every response body is JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import (
+    BadRequest,
+    DeadlineExceeded,
+    InfluenceService,
+    ServiceUnavailable,
+)
+
+__all__ = ["InfluenceHTTPServer", "make_server", "MAX_BODY_BYTES"]
+
+#: Request bodies above this are rejected with 413 before being read fully.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the server's service; all responses are JSON."""
+
+    server: "InfluenceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    def _send_json(
+        self, status: int, payload: dict[str, Any], headers: dict[str, str] | None = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str, **headers: str) -> None:
+        self.server.service.obs.counter(f"serve.responses.{status}").inc()
+        self._send_json(status, {"error": message, "status": status}, headers)
+
+    def _read_payload(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise BadRequest(f"body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise BadRequest("body must be a JSON object")
+        return payload
+
+    def _dispatch(self, fn) -> None:
+        service = self.server.service
+        try:
+            result = fn()
+        except BadRequest as error:
+            self._send_error(400, str(error))
+        except ServiceUnavailable as error:
+            self._send_error(
+                503, str(error), **{"Retry-After": f"{error.retry_after:.0f}"}
+            )
+        except DeadlineExceeded as error:
+            self._send_error(504, str(error))
+        except Exception as error:  # pragma: no cover - defensive catch-all
+            service.obs.logger.error("request_failed", path=self.path, error=str(error))
+            self._send_error(500, f"internal error: {error}")
+        else:
+            service.obs.counter("serve.responses.200").inc()
+            self._send_json(200, result)
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        service = self.server.service
+        if self.path == "/healthz":
+            self._dispatch(service.health)
+        elif self.path == "/metrics":
+            self._dispatch(service.metrics)
+        elif self.path == "/v1/models":
+            self._dispatch(self.server.describe_models)
+        else:
+            self._send_error(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        service = self.server.service
+        routes = {
+            "/v1/score": service.score,
+            "/v1/seeds": service.seeds,
+            "/v1/spread": service.spread,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send_error(404, f"unknown path {self.path!r}")
+            return
+        self._dispatch(lambda: handler(self._read_payload()))
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Route access logs through the structured logger (silent unless
+        # the operator enabled logging) instead of raw stderr.
+        self.server.service.obs.logger.debug(
+            "http_access", client=self.client_address[0], line=format % args
+        )
+
+
+class InfluenceHTTPServer(ThreadingHTTPServer):
+    """Threaded server bound to one service (and optionally a registry)."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # The default accept backlog (5) RSTs connections under a modest burst
+    # — a silent drop with no HTTP status.  Degradation must happen at the
+    # service layer (503 + Retry-After), so accept generously and let
+    # admission control do the rejecting.
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: InfluenceService,
+        registry: ModelRegistry | None = None,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.registry = registry
+
+    def describe_models(self) -> dict[str, Any]:
+        """``/v1/models`` — the registry listing plus the active model."""
+        active = {
+            "model": self.service.model_name,
+            "version": self.service.model_version,
+        }
+        if self.registry is None:
+            return {"active": active, "models": {}}
+        return {"active": active, "models": self.registry.describe()}
+
+    def shutdown_gracefully(self) -> None:
+        """Stop admitting work, then stop the accept loop."""
+        self.service.close()
+        self.shutdown()
+
+
+def make_server(
+    service: InfluenceService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    registry: ModelRegistry | None = None,
+) -> InfluenceHTTPServer:
+    """Bind (without serving) — ``port=0`` picks a free ephemeral port.
+
+    Call ``serve_forever()`` (blocking) or run it in a thread; tests and
+    the CLI both use :func:`start_in_thread`.
+    """
+    return InfluenceHTTPServer((host, port), service, registry)
+
+
+def start_in_thread(server: InfluenceHTTPServer) -> threading.Thread:
+    """Run ``server.serve_forever()`` in a daemon thread; returns it."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return thread

@@ -1,0 +1,337 @@
+"""Versioned on-disk model artifacts and the serving registry.
+
+An *artifact* is the publishable unit of a training run: the trained GNN
+weights, the :class:`~repro.gnn.models.GNNConfig` needed to rebuild the
+exact architecture, the frozen pipeline configuration it was trained
+under, and the final privacy provenance (ε, δ, σ, composition steps).
+Bundling the configs fixes a real gap: saved weights alone do not pin the
+architecture or the training-time privacy claim, so publishing used to
+mean hand-reassembling three objects that could silently drift apart.
+
+Artifacts use the same framing as training checkpoints
+(:mod:`repro.core.checkpoint`): an atomic temp-file + fsync + rename
+write, prefixed with a ``sha256``/``size`` header line, so a crash never
+corrupts a published model and truncated or bit-flipped files are
+rejected with a clean :class:`~repro.errors.TrainingError`.
+
+A :class:`ModelRegistry` is a directory of named models, each a directory
+of numbered versions::
+
+    registry/
+      default/
+        v000001.npz
+        v000002.npz
+      lastfm-eps4/
+        v000001.npz
+
+``publish`` allocates the next version atomically; ``load`` returns any
+version (latest by default).  Inference on a loaded artifact spends no
+additional privacy budget — the (ε, δ) it carries is the total cost of
+everything the model will ever answer.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.checkpoint import read_checksummed, write_checksummed
+from repro.errors import TrainingError
+from repro.gnn.models import GNN, GNNConfig
+
+__all__ = [
+    "ModelArtifact",
+    "ModelRegistry",
+    "PrivacyProvenance",
+    "load_artifact",
+    "save_artifact",
+]
+
+_ARTIFACT_MAGIC = b"REPRO-ARTIFACT-v1"
+_ARTIFACT_HEADER_KEY = "__repro_artifact__"
+_ARTIFACT_KIND = "serving artifact"
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION_PATTERN = re.compile(r"^v(\d{6})\.npz$")
+
+
+@dataclass(frozen=True)
+class PrivacyProvenance:
+    """The privacy claim a served model carries with every response.
+
+    Attributes:
+        epsilon: achieved ε of the training run (``inf`` for the
+            non-private reference).
+        delta: the δ the run was accounted at.
+        sigma: the calibrated noise multiplier (0 when non-private).
+        steps: composition steps the accountant recorded (training
+            iterations).
+        max_occurrences: the occurrence bound ``N_g`` used for sensitivity.
+        num_subgraphs: training container size ``m``.
+        clip_bound: per-subgraph clip norm ``C`` (``None`` non-private).
+    """
+
+    epsilon: float
+    delta: float
+    sigma: float
+    steps: int
+    max_occurrences: int
+    num_subgraphs: int
+    clip_bound: float | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-safe dict; ε = ∞ is encoded as ``None``."""
+        return {
+            "epsilon": float(self.epsilon) if math.isfinite(self.epsilon) else None,
+            "delta": float(self.delta),
+            "sigma": float(self.sigma),
+            "steps": int(self.steps),
+            "max_occurrences": int(self.max_occurrences),
+            "num_subgraphs": int(self.num_subgraphs),
+            "clip_bound": None if self.clip_bound is None else float(self.clip_bound),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "PrivacyProvenance":
+        return cls(
+            epsilon=float("inf") if payload["epsilon"] is None else float(payload["epsilon"]),
+            delta=float(payload["delta"]),
+            sigma=float(payload["sigma"]),
+            steps=int(payload["steps"]),
+            max_occurrences=int(payload["max_occurrences"]),
+            num_subgraphs=int(payload["num_subgraphs"]),
+            clip_bound=(
+                None if payload.get("clip_bound") is None else float(payload["clip_bound"])
+            ),
+        )
+
+
+@dataclass
+class ModelArtifact:
+    """A publishable trained model: weights + configs + privacy claim.
+
+    Attributes:
+        model: the trained GNN (its ``config`` is the architecture record).
+        privacy: the training run's final privacy accounting.
+        pipeline_config: JSON-safe snapshot of the pipeline configuration
+            the model was trained under (hyperparameters, sampling knobs).
+        method: pipeline name (``PrivIM*``, ``PrivIM``, …).
+        metadata: free-form JSON-safe annotations (dataset, operator tags).
+    """
+
+    model: GNN
+    privacy: PrivacyProvenance
+    pipeline_config: dict[str, Any] = field(default_factory=dict)
+    method: str = ""
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def gnn_config(self) -> GNNConfig:
+        """The architecture the weights belong to."""
+        return self.model.config
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-safe summary (what ``/v1/models`` reports per version)."""
+        config = self.model.config
+        return {
+            "method": self.method,
+            "model": config.model,
+            "in_features": config.in_features,
+            "hidden_features": config.hidden_features,
+            "num_layers": config.num_layers,
+            "privacy": self.privacy.to_json(),
+            "metadata": dict(self.metadata),
+        }
+
+
+def _normalize_artifact_path(path: str | os.PathLike) -> str:
+    text = os.fspath(path)
+    if not text.endswith(".npz"):
+        text += ".npz"
+    return text
+
+
+def save_artifact(artifact: ModelArtifact, path: str | os.PathLike) -> str:
+    """Atomically write ``artifact`` to ``path``; returns the path written."""
+    config = artifact.model.config
+    header = {
+        "version": 1,
+        "gnn": {
+            "model": config.model,
+            "in_features": config.in_features,
+            "hidden_features": config.hidden_features,
+            "num_layers": config.num_layers,
+            "attention_heads": config.attention_heads,
+        },
+        "privacy": artifact.privacy.to_json(),
+        "pipeline_config": artifact.pipeline_config,
+        "method": artifact.method,
+        "metadata": artifact.metadata,
+    }
+    payload: dict[str, np.ndarray] = {
+        f"model.{name}": np.asarray(value)
+        for name, value in artifact.model.state_dict().items()
+    }
+    try:
+        header_bytes = json.dumps(header).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise TrainingError(
+            f"artifact metadata/pipeline_config must be JSON-safe: {error}"
+        ) from error
+    payload[_ARTIFACT_HEADER_KEY] = np.frombuffer(header_bytes, dtype=np.uint8)
+
+    buffer = io.BytesIO()
+    np.savez(buffer, **payload)
+    return write_checksummed(
+        _normalize_artifact_path(path), _ARTIFACT_MAGIC, buffer.getvalue()
+    )
+
+
+def load_artifact(path: str | os.PathLike) -> ModelArtifact:
+    """Read, verify, and rebuild an artifact written by :func:`save_artifact`.
+
+    Raises:
+        TrainingError: missing file, wrong magic, truncation, checksum
+            failure, or an undecodable payload.
+    """
+    path = _normalize_artifact_path(path)
+    data = read_checksummed(path, _ARTIFACT_MAGIC, kind=_ARTIFACT_KIND)
+    try:
+        with np.load(io.BytesIO(data)) as archive:
+            header = json.loads(
+                bytes(archive[_ARTIFACT_HEADER_KEY].tobytes()).decode("utf-8")
+            )
+            state = {
+                key[len("model."):]: archive[key]
+                for key in archive.files
+                if key.startswith("model.")
+            }
+    except TrainingError:
+        raise
+    except Exception as error:
+        raise TrainingError(f"{path} could not be decoded: {error}") from error
+
+    gnn = header["gnn"]
+    model = GNN(
+        GNNConfig(
+            model=gnn["model"],
+            in_features=int(gnn["in_features"]),
+            hidden_features=int(gnn["hidden_features"]),
+            num_layers=int(gnn["num_layers"]),
+            attention_heads=int(gnn.get("attention_heads", 1)),
+            rng=0,
+        )
+    )
+    model.load_state_dict(state)
+    return ModelArtifact(
+        model=model,
+        privacy=PrivacyProvenance.from_json(header["privacy"]),
+        pipeline_config=dict(header.get("pipeline_config", {})),
+        method=str(header.get("method", "")),
+        metadata=dict(header.get("metadata", {})),
+    )
+
+
+class ModelRegistry:
+    """A directory of named, versioned serving artifacts.
+
+    Args:
+        root: registry directory (created on first publish).
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = os.fspath(root)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not _NAME_PATTERN.match(name):
+            raise TrainingError(
+                f"model name must match {_NAME_PATTERN.pattern}, got {name!r}"
+            )
+        return name
+
+    def _model_dir(self, name: str) -> str:
+        return os.path.join(self.root, self._check_name(name))
+
+    def artifact_path(self, name: str, version: int) -> str:
+        """Path of one published version (which may or may not exist)."""
+        if version < 1:
+            raise TrainingError(f"versions start at 1, got {version}")
+        return os.path.join(self._model_dir(name), f"v{version:06d}.npz")
+
+    # ------------------------------------------------------------------ #
+    def list_models(self) -> list[str]:
+        """Sorted names of every model with at least one version."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            entry
+            for entry in os.listdir(self.root)
+            if _NAME_PATTERN.match(entry) and self.list_versions(entry)
+        )
+
+    def list_versions(self, name: str) -> list[int]:
+        """Published versions of ``name`` in ascending numeric order."""
+        directory = self._model_dir(name)
+        if not os.path.isdir(directory):
+            return []
+        versions = []
+        for entry in os.listdir(directory):
+            match = _VERSION_PATTERN.match(entry)
+            if match:
+                versions.append(int(match.group(1)))
+        return sorted(versions)
+
+    def latest(self, name: str = "default") -> int:
+        """The newest published version number of ``name``."""
+        versions = self.list_versions(name)
+        if not versions:
+            raise TrainingError(f"no published versions of {name!r} in {self.root}")
+        return versions[-1]
+
+    # ------------------------------------------------------------------ #
+    def publish(self, artifact: ModelArtifact, name: str = "default") -> int:
+        """Write ``artifact`` as the next version of ``name``; returns it.
+
+        The write is atomic (checksummed temp file + rename), so a crash
+        mid-publish never leaves a half-written version, and readers only
+        ever observe complete artifacts.
+        """
+        directory = self._model_dir(name)
+        os.makedirs(directory, exist_ok=True)
+        versions = self.list_versions(name)
+        version = (versions[-1] + 1) if versions else 1
+        save_artifact(artifact, self.artifact_path(name, version))
+        return version
+
+    def load(self, name: str = "default", version: int | None = None) -> ModelArtifact:
+        """Load one version of ``name`` (latest when ``version`` is None)."""
+        if version is None:
+            version = self.latest(name)
+        path = self.artifact_path(name, version)
+        if not os.path.exists(path):
+            raise TrainingError(
+                f"model {name!r} has no version {version} in {self.root} "
+                f"(published: {self.list_versions(name) or 'none'})"
+            )
+        return load_artifact(path)
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-safe listing of every model/version (``/v1/models``)."""
+        listing: dict[str, Any] = {}
+        for name in self.list_models():
+            versions = {}
+            for version in self.list_versions(name):
+                try:
+                    versions[str(version)] = self.load(name, version).describe()
+                except TrainingError as error:
+                    versions[str(version)] = {"error": str(error)}
+            listing[name] = versions
+        return listing

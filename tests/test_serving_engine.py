@@ -1,0 +1,233 @@
+"""Engine tests: round-trip fidelity, caching, and thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PrivIMConfig, PrivIMStar
+from repro.core.seed_selection import score_nodes
+from repro.errors import TrainingError
+from repro.gnn.features import degree_features
+from repro.graphs.generators import barabasi_albert_graph
+from repro.serving.engine import ScoringEngine, graph_fingerprint
+from repro.serving.registry import ModelRegistry, load_artifact
+
+from tests.test_serving_registry import make_artifact
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """One real (tiny) training run shared by the round-trip tests."""
+    graph = barabasi_albert_graph(60, 3, rng=5)
+    pipeline = PrivIMStar(
+        PrivIMConfig(
+            iterations=2,
+            subgraph_size=10,
+            sampling_rate=0.4,
+            hidden_features=8,
+            num_layers=2,
+            rng=0,
+        )
+    )
+    result = pipeline.fit(graph)
+    return pipeline, result, graph
+
+
+@pytest.fixture
+def eval_graph():
+    return barabasi_albert_graph(50, 2, rng=9)
+
+
+class TestRoundTrip:
+    def test_fit_export_load_serve_is_bit_identical(self, trained, eval_graph, tmp_path):
+        """The acceptance criterion: published seeds == pipeline seeds."""
+        pipeline, result, _ = trained
+        registry = ModelRegistry(tmp_path / "registry")
+        version = registry.publish(result.build_artifact(), "roundtrip")
+        engine = ScoringEngine(registry.load("roundtrip", version))
+
+        direct_scores = pipeline.score_nodes(eval_graph)
+        served_scores = engine.scores(eval_graph)
+        np.testing.assert_array_equal(direct_scores, served_scores)
+        for k in (1, 5, 10):
+            assert engine.top_k_seeds(eval_graph, k) == pipeline.select_seeds(
+                eval_graph, k
+            )
+
+    def test_export_artifact_writes_loadable_file(self, trained, tmp_path):
+        _, result, _ = trained
+        path = result.export_artifact(tmp_path / "direct.npz", dataset="ba-60")
+        engine = ScoringEngine(load_artifact(path))
+        assert engine.artifact.metadata["dataset"] == "ba-60"
+        assert engine.artifact.privacy.epsilon == pytest.approx(result.epsilon)
+        assert engine.artifact.privacy.steps == result.history.iterations
+
+    def test_artifact_records_trained_gnn_config(self, trained, tmp_path):
+        pipeline, result, _ = trained
+        artifact = result.build_artifact()
+        assert artifact.gnn_config.hidden_features == 8
+        assert artifact.gnn_config.num_layers == 2
+        assert artifact.pipeline_config["iterations"] == 2
+        assert artifact.method == "PrivIM*"
+
+
+class TestFingerprintAndFeatureCache:
+    def test_fingerprint_changes_with_graph_content(self, eval_graph):
+        same = barabasi_albert_graph(50, 2, rng=9)
+        different = barabasi_albert_graph(50, 2, rng=10)
+        assert graph_fingerprint(eval_graph) == graph_fingerprint(same)
+        assert graph_fingerprint(eval_graph) != graph_fingerprint(different)
+
+    def test_features_computed_once_per_graph(self, eval_graph):
+        engine = ScoringEngine(make_artifact())
+        first = engine.features(eval_graph)
+        second = engine.features(eval_graph)
+        assert first is second  # cache returns the same array object
+        stats = engine.stats()["features"]
+        assert stats == {
+            "size": 1, "capacity": 8, "hits": 1, "misses": 1, "evictions": 0,
+        }
+        np.testing.assert_array_equal(
+            first, degree_features(eval_graph, dim=engine.model.config.in_features)
+        )
+
+    def test_graph_change_invalidates_scores(self, eval_graph):
+        engine = ScoringEngine(make_artifact())
+        before = engine.scores(eval_graph)
+        changed = barabasi_albert_graph(50, 2, rng=10)
+        after = engine.scores(changed)
+        assert engine.stats()["scores"]["misses"] == 2
+        assert before.shape == after.shape
+        assert not np.array_equal(before, after)
+
+    def test_lru_evicts_oldest_graph(self):
+        engine = ScoringEngine(
+            make_artifact(), feature_cache_size=1, score_cache_size=1
+        )
+        graphs = [barabasi_albert_graph(30, 2, rng=seed) for seed in (1, 2)]
+        engine.scores(graphs[0])
+        engine.scores(graphs[1])  # evicts graphs[0]
+        engine.scores(graphs[0])  # recompute
+        stats = engine.stats()["scores"]
+        assert stats["misses"] == 3
+        assert stats["evictions"] == 2
+        assert stats["size"] == 1
+
+
+class TestResultCacheAndQueries:
+    def test_top_k_results_cached_by_request(self, eval_graph):
+        engine = ScoringEngine(make_artifact())
+        first = engine.top_k_seeds(eval_graph, 5)
+        second = engine.top_k_seeds(eval_graph, 5)
+        assert first == second
+        assert engine.stats()["results"]["hits"] == 1
+        engine.top_k_seeds(eval_graph, 6)  # different k: a miss
+        assert engine.stats()["results"]["misses"] == 2
+
+    def test_generator_rng_bypasses_cache(self, eval_graph):
+        engine = ScoringEngine(make_artifact())
+        rng = np.random.default_rng(0)
+        engine.top_k_seeds(eval_graph, 5, rng=rng)
+        stats = engine.stats()["results"]
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_score_subset_matches_full_vector(self, eval_graph):
+        engine = ScoringEngine(make_artifact())
+        full = engine.score_nodes(eval_graph)
+        subset = engine.score_nodes(eval_graph, [3, 1, 7])
+        np.testing.assert_array_equal(subset, full[[3, 1, 7]])
+        with pytest.raises(TrainingError, match="node ids"):
+            engine.score_nodes(eval_graph, [999])
+
+    def test_spread_is_reproducible_per_request(self, eval_graph):
+        engine = ScoringEngine(make_artifact())
+        seeds = engine.top_k_seeds(eval_graph, 3)
+        a = engine.estimate_spread(eval_graph, seeds, model="sis", steps=3)
+        # Second call hits the result cache; third (fresh engine) recomputes.
+        b = engine.estimate_spread(eval_graph, seeds, model="sis", steps=3)
+        c = ScoringEngine(make_artifact()).estimate_spread(
+            eval_graph, seeds, model="sis", steps=3
+        )
+        assert a == b == c
+
+    def test_spread_seed_controls_randomness(self, eval_graph):
+        engine = ScoringEngine(make_artifact())
+        seeds = [0, 1, 2]
+        kwargs = dict(model="sis", steps=4, num_simulations=20)
+        assert engine.estimate_spread(
+            eval_graph, seeds, rng=1, **kwargs
+        ) == engine.estimate_spread(eval_graph, seeds, rng=1, **kwargs)
+
+
+class TestConcurrency:
+    def test_concurrent_scores_coalesce_to_one_forward_pass(self, eval_graph):
+        engine = ScoringEngine(make_artifact())
+        barrier = threading.Barrier(16)
+        results: list[np.ndarray] = [None] * 16
+        errors: list[Exception] = []
+
+        def worker(index: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                results[index] = engine.scores(eval_graph)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert engine.stats()["forward_passes"] == 1  # burst cost one pass
+        for result in results[1:]:
+            np.testing.assert_array_equal(results[0], result)
+
+    def test_concurrent_mixed_queries_are_consistent(self, eval_graph):
+        engine = ScoringEngine(make_artifact())
+        expected_seeds = ScoringEngine(make_artifact()).top_k_seeds(eval_graph, 5)
+        errors: list[Exception] = []
+
+        def worker(index: int) -> None:
+            try:
+                if index % 2 == 0:
+                    assert engine.top_k_seeds(eval_graph, 5) == expected_seeds
+                else:
+                    scores = engine.score_nodes(eval_graph, [index])
+                    assert scores.shape == (1,)
+            except Exception as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(32)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+
+
+class TestPrecomputedFeaturePassThrough:
+    def test_score_nodes_accepts_precomputed_features(self, eval_graph):
+        model = make_artifact().model
+        features = degree_features(eval_graph, dim=model.config.in_features)
+        np.testing.assert_array_equal(
+            score_nodes(model, eval_graph),
+            score_nodes(model, eval_graph, features=features),
+        )
+
+    def test_wrong_feature_shape_rejected(self, eval_graph):
+        model = make_artifact().model
+        with pytest.raises(TrainingError, match="precomputed features"):
+            score_nodes(model, eval_graph, features=np.zeros((3, 2)))
+
+    def test_pipeline_select_seeds_feature_passthrough(self, trained, eval_graph):
+        pipeline, _, _ = trained
+        features = degree_features(
+            eval_graph, dim=pipeline.model.config.in_features
+        )
+        assert pipeline.select_seeds(
+            eval_graph, 5, features=features
+        ) == pipeline.select_seeds(eval_graph, 5)

@@ -1,0 +1,191 @@
+"""Registry + artifact tests: round trips, corruption, version order."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.gnn.models import build_gnn
+from repro.serving.registry import (
+    ModelArtifact,
+    ModelRegistry,
+    PrivacyProvenance,
+    load_artifact,
+    save_artifact,
+)
+
+
+def make_artifact(seed: int = 0, method: str = "PrivIM*") -> ModelArtifact:
+    """A tiny trained-shaped artifact without paying for training."""
+    model = build_gnn("gcn", hidden_features=4, num_layers=2, rng=seed)
+    return ModelArtifact(
+        model=model,
+        privacy=PrivacyProvenance(
+            epsilon=4.0,
+            delta=1e-3,
+            sigma=0.7,
+            steps=30,
+            max_occurrences=4,
+            num_subgraphs=64,
+            clip_bound=1.0,
+        ),
+        pipeline_config={"iterations": 30, "threshold": 4},
+        method=method,
+        metadata={"dataset": "unit-test"},
+    )
+
+
+class TestArtifactRoundTrip:
+    def test_weights_configs_and_privacy_survive(self, tmp_path):
+        artifact = make_artifact(seed=3)
+        path = save_artifact(artifact, tmp_path / "model.npz")
+        loaded = load_artifact(path)
+
+        original = artifact.model.state_dict()
+        restored = loaded.model.state_dict()
+        assert sorted(original) == sorted(restored)
+        for name in original:
+            np.testing.assert_array_equal(original[name], restored[name])
+        assert loaded.gnn_config == artifact.gnn_config or (
+            loaded.gnn_config.model == artifact.gnn_config.model
+            and loaded.gnn_config.in_features == artifact.gnn_config.in_features
+            and loaded.gnn_config.hidden_features == artifact.gnn_config.hidden_features
+            and loaded.gnn_config.num_layers == artifact.gnn_config.num_layers
+        )
+        assert loaded.privacy == artifact.privacy
+        assert loaded.pipeline_config == artifact.pipeline_config
+        assert loaded.method == "PrivIM*"
+        assert loaded.metadata == {"dataset": "unit-test"}
+
+    def test_extensionless_path_round_trips(self, tmp_path):
+        artifact = make_artifact()
+        save_artifact(artifact, tmp_path / "model")
+        loaded = load_artifact(tmp_path / "model")
+        assert loaded.method == artifact.method
+
+    def test_infinite_epsilon_round_trips(self, tmp_path):
+        artifact = make_artifact()
+        artifact = ModelArtifact(
+            model=artifact.model,
+            privacy=PrivacyProvenance(
+                epsilon=float("inf"),
+                delta=1e-3,
+                sigma=0.0,
+                steps=10,
+                max_occurrences=4,
+                num_subgraphs=8,
+                clip_bound=None,
+            ),
+        )
+        save_artifact(artifact, tmp_path / "np.npz")
+        loaded = load_artifact(tmp_path / "np.npz")
+        assert loaded.privacy.epsilon == float("inf")
+        assert loaded.privacy.clip_bound is None
+        assert loaded.privacy.to_json()["epsilon"] is None
+
+    def test_non_json_metadata_rejected(self, tmp_path):
+        artifact = make_artifact()
+        artifact.metadata["bad"] = object()
+        with pytest.raises(TrainingError, match="JSON-safe"):
+            save_artifact(artifact, tmp_path / "bad.npz")
+
+
+class TestArtifactCorruption:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TrainingError, match="no serving artifact"):
+            load_artifact(tmp_path / "absent.npz")
+
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"NOT-AN-ARTIFACT whatever\npayload")
+        with pytest.raises(TrainingError, match="not a repro serving artifact"):
+            load_artifact(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = save_artifact(make_artifact(), tmp_path / "model.npz")
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) - 64])
+        with pytest.raises(TrainingError, match="truncated"):
+            load_artifact(path)
+
+    def test_bit_flip_fails_checksum(self, tmp_path):
+        path = save_artifact(make_artifact(), tmp_path / "model.npz")
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(TrainingError, match="checksum"):
+            load_artifact(path)
+
+
+class TestRegistry:
+    def test_publish_allocates_sequential_versions(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        assert registry.list_versions("m") == []
+        for expected in (1, 2, 3):
+            assert registry.publish(make_artifact(seed=expected), "m") == expected
+        assert registry.list_versions("m") == [1, 2, 3]
+        assert registry.latest("m") == 3
+
+    def test_versions_sort_numerically_past_nine(self, tmp_path):
+        # Lexicographic listing would order v10 before v2.
+        registry = ModelRegistry(tmp_path / "registry")
+        for _ in range(12):
+            registry.publish(make_artifact(), "wide")
+        assert registry.list_versions("wide") == list(range(1, 13))
+        assert registry.latest("wide") == 12
+
+    def test_load_latest_and_specific(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(make_artifact(seed=1, method="PrivIM"), "m")
+        registry.publish(make_artifact(seed=2, method="PrivIM*"), "m")
+        assert registry.load("m").method == "PrivIM*"
+        assert registry.load("m", 1).method == "PrivIM"
+
+    def test_load_missing_version_is_clean(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(make_artifact(), "m")
+        with pytest.raises(TrainingError, match="no version 9"):
+            registry.load("m", 9)
+
+    def test_latest_without_publishes_is_clean(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        with pytest.raises(TrainingError, match="no published versions"):
+            registry.latest("ghost")
+
+    def test_names_are_validated(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        with pytest.raises(TrainingError, match="model name"):
+            registry.publish(make_artifact(), "../escape")
+        with pytest.raises(TrainingError, match="model name"):
+            registry.list_versions("a/b")
+
+    def test_list_models_and_describe(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(make_artifact(), "alpha")
+        registry.publish(make_artifact(), "beta")
+        assert registry.list_models() == ["alpha", "beta"]
+        listing = registry.describe()
+        assert set(listing) == {"alpha", "beta"}
+        entry = listing["alpha"]["1"]
+        assert entry["privacy"]["epsilon"] == 4.0
+        assert entry["model"] == "gcn"
+
+    def test_corrupt_version_reported_not_fatal(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(make_artifact(), "m")
+        path = registry.artifact_path("m", 1)
+        with open(path, "wb") as handle:
+            handle.write(b"garbage")
+        listing = registry.describe()
+        assert "error" in listing["m"]["1"]
+
+    def test_publish_is_atomic_no_partial_files(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(make_artifact(), "m")
+        directory = os.path.dirname(registry.artifact_path("m", 1))
+        assert sorted(os.listdir(directory)) == ["v000001.npz"]
