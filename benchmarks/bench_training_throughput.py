@@ -1,0 +1,305 @@
+"""Training-throughput benchmark for the per-example gradient engine.
+
+Measures DP-SGD iterations/sec on the default training config (GRAT
+backbone at the paper's default width/depth, batch_size 8) across
+``grad_workers`` x {fused kernels, legacy ``np.add.at``} and writes a
+``BENCH_training.json`` summary, so the perf trajectory has a training
+datapoint next to the sampling benches.
+
+Every same-binary configuration must produce a **byte-identical loss
+history** — the engine's core guarantee — and the script exits non-zero if
+any pair diverges, which is what the CI smoke job (``--tiny --workers 1 2``)
+asserts on every push.
+
+The in-binary "kernels off" arm restores ``np.add.at`` scatters but still
+runs the rewritten autograd walk and compute-plan cache, so it *understates*
+the engine's full speedup.  For an honest before/after number, point
+``--baseline-src`` at the ``src`` directory of a checkout of the pre-engine
+commit::
+
+    git worktree add /tmp/pre_engine <pre-engine-commit>
+    PYTHONPATH=src python benchmarks/bench_training_throughput.py \
+        --baseline-src /tmp/pre_engine/src
+
+which times alternating baseline/current subprocess pairs on the same
+workload with CPU time (``time.process_time``, immune to steal/frequency
+noise) and reports the median per-pair ratio.
+
+Unlike the pytest-benchmark suites this is a plain script: the CI job
+needs its equality assertion and JSON artefact without a benchmark
+storage round-trip.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+
+from repro.core.trainer import DPGNNTrainer, DPTrainingConfig
+from repro.gnn.models import build_gnn
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.sampling.dual_stage import DualStageSamplingConfig, extract_subgraphs_dual_stage
+from repro.utils.rng import bench_seed
+
+try:
+    from repro.nn.kernels import use_kernels
+except ImportError:  # pre-engine source trees have no kernels module
+    from contextlib import contextmanager
+
+    @contextmanager
+    def use_kernels(enabled):
+        yield
+
+
+def build_container(tiny: bool):
+    if tiny:
+        graph = powerlaw_cluster_graph(150, 3, 0.3, rng=bench_seed())
+        config = DualStageSamplingConfig(
+            subgraph_size=10, threshold=4, sampling_rate=0.8, walk_length=300
+        )
+    else:
+        from repro.datasets.registry import load_dataset
+
+        graph = load_dataset("lastfm", scale=0.1)
+        # Default subgraph size (40); sampling_rate/walk_length raised so the
+        # 10%-scale graph still yields a full container.
+        config = DualStageSamplingConfig(
+            subgraph_size=40, threshold=4, sampling_rate=0.8, walk_length=300
+        )
+    return extract_subgraphs_dual_stage(graph, config, bench_seed()).container
+
+
+def make_training_config(iterations: int, container, workers: int | None):
+    """Build the default training config, portable across source trees.
+
+    ``grad_workers`` only exists in the engine's config dataclass, so it is
+    passed conditionally — baseline subprocesses construct the same config
+    minus the field.
+    """
+    kwargs = dict(
+        iterations=iterations,
+        batch_size=min(8, len(container)),
+        sigma=1.0,
+        max_occurrences=4,
+    )
+    if workers is not None:
+        kwargs["grad_workers"] = workers
+    return DPTrainingConfig(**kwargs)
+
+
+def run_configuration(
+    container, *, iterations, workers, kernels_on, model_kind, clock=time.perf_counter
+):
+    """One timed training run; returns (iterations/sec, loss history).
+
+    The grid arms time with wall clock: worker fan-out spends its cycles in
+    child processes, which ``time.process_time`` cannot see.  The serial
+    ``--time-only`` arms use CPU time instead, which is immune to steal and
+    frequency drift.
+    """
+    with use_kernels(kernels_on):
+        model = build_gnn(model_kind, rng=bench_seed())
+        config = make_training_config(iterations, container, workers)
+        trainer = DPGNNTrainer(model, container, config, rng=bench_seed())
+        start = clock()
+        history = trainer.train()
+        elapsed = clock() - start
+    return iterations / elapsed, tuple(history.losses)
+
+
+def timed_subprocess(src_path: str, argv: list[str]) -> float:
+    """Run this script in ``--time-only`` mode against ``src_path``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src_path)
+    result = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--time-only", *argv],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    for line in result.stdout.splitlines():
+        if line.startswith("IT_PER_SEC "):
+            return float(line.split()[1])
+    raise RuntimeError(
+        f"time-only run against {src_path} produced no rate:\n"
+        f"{result.stdout}\n{result.stderr}"
+    )
+
+
+def compare_with_baseline(baseline_src: str, *, tiny, iterations, model, pairs):
+    """Alternating paired baseline/current runs; median per-pair ratio.
+
+    Pairing adjacent runs and taking the median ratio cancels the slow
+    drift in machine speed that makes one-shot throughput numbers on
+    shared hardware meaningless.
+    """
+    current_src = os.path.join(os.path.dirname(__file__), "..", "src")
+    argv = ["--iterations", str(iterations), "--model", model]
+    if tiny:
+        argv.append("--tiny")
+    samples = []
+    for pair in range(pairs):
+        old_rate = timed_subprocess(baseline_src, argv)
+        new_rate = timed_subprocess(current_src, argv)
+        samples.append(
+            {
+                "baseline_it_per_sec": round(old_rate, 3),
+                "current_it_per_sec": round(new_rate, 3),
+                "ratio": round(new_rate / old_rate, 3),
+            }
+        )
+        print(
+            f"  pair {pair + 1}/{pairs}: baseline {old_rate:7.2f} it/s | "
+            f"current {new_rate:7.2f} it/s | ratio {new_rate / old_rate:.2f}x"
+        )
+    median = statistics.median(sample["ratio"] for sample in samples)
+    return {
+        "baseline_src": os.path.abspath(baseline_src),
+        "timing": "time.process_time, paired alternating subprocess runs",
+        "pairs": samples,
+        "median_speedup": round(median, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="small synthetic graph and few iterations (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=[1, 2, 4],
+        help="grad_workers values to sweep (default: 1 2 4)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None,
+        help="training iterations per configuration (default: 8 tiny, 20 full)",
+    )
+    parser.add_argument(
+        "--model", default="grat", help="GNN backbone (default: grat)"
+    )
+    parser.add_argument(
+        "--baseline-src", default=None,
+        help="src directory of a pre-engine checkout for a paired before/after",
+    )
+    parser.add_argument(
+        "--pairs", type=int, default=6,
+        help="baseline/current timing pairs for --baseline-src (default: 6)",
+    )
+    parser.add_argument(
+        "--time-only", action="store_true", help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_training.json"),
+        help="summary JSON path (default: repo-root BENCH_training.json)",
+    )
+    args = parser.parse_args(argv)
+    iterations = args.iterations or (8 if args.tiny else 20)
+
+    if args.time_only:
+        # Subprocess arm: serial defaults only, APIs common to both trees.
+        container = build_container(args.tiny)
+        rate, _ = run_configuration(
+            container,
+            iterations=iterations,
+            workers=None,
+            kernels_on=True,
+            model_kind=args.model,
+            clock=time.process_time,
+        )
+        print(f"IT_PER_SEC {rate:.6f}")
+        return 0
+
+    container = build_container(args.tiny)
+    print(
+        f"container: {len(container)} subgraphs | model={args.model} "
+        f"batch=8 iterations={iterations} seed={bench_seed()}"
+    )
+
+    runs = []
+    # The kernels-off row restores the np.add.at scatters (the rest of the
+    # engine stays on); the remaining rows sweep worker counts.
+    grid = [(1, False)] + [(workers, True) for workers in args.workers]
+    for workers, kernels_on in grid:
+        rate, losses = run_configuration(
+            container,
+            iterations=iterations,
+            workers=workers,
+            kernels_on=kernels_on,
+            model_kind=args.model,
+        )
+        runs.append(
+            {
+                "grad_workers": workers,
+                "kernels": kernels_on,
+                "iterations_per_sec": round(rate, 3),
+                "losses": losses,
+            }
+        )
+        print(
+            f"  workers={workers} kernels={'on ' if kernels_on else 'off'} "
+            f"-> {rate:7.3f} it/s"
+        )
+
+    reference = runs[0]["losses"]
+    mismatched = [run for run in runs if run["losses"] != reference]
+    if mismatched:
+        for run in mismatched:
+            print(
+                f"LOSS-HISTORY MISMATCH: workers={run['grad_workers']} "
+                f"kernels={run['kernels']}",
+                file=sys.stderr,
+            )
+        return 1
+    print("loss histories: byte-identical across all configurations")
+
+    baseline = runs[0]["iterations_per_sec"]
+    best = max(run["iterations_per_sec"] for run in runs[1:])
+    print(f"speedup vs in-binary legacy scatters: {best / baseline:.2f}x")
+
+    summary = {
+        "benchmark": "training_throughput",
+        "mode": "tiny" if args.tiny else "full",
+        "model": args.model,
+        "batch_size": 8,
+        "iterations": iterations,
+        "num_subgraphs": len(container),
+        "seed": bench_seed(),
+        "timing": "time.perf_counter (wall clock; worker arms use subprocesses)",
+        "configurations": [
+            {key: value for key, value in run.items() if key != "losses"}
+            for run in runs
+        ],
+        "speedup_vs_legacy_scatters": round(best / baseline, 3),
+        "loss_histories_identical": True,
+    }
+
+    if args.baseline_src:
+        print(f"paired comparison vs {args.baseline_src}:")
+        comparison = compare_with_baseline(
+            args.baseline_src,
+            tiny=args.tiny,
+            iterations=iterations,
+            model=args.model,
+            pairs=args.pairs,
+        )
+        summary["pre_engine_comparison"] = comparison
+        print(f"median speedup vs pre-engine baseline: {comparison['median_speedup']:.2f}x")
+
+    output = os.path.abspath(args.output)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,8 @@ class EGNConfig:
         subgraph_size: nodes per subgraph.
         iterations / batch_size / learning_rate / clip_bound / penalty:
             DP-SGD settings shared with Algorithm 2.
+        grad_workers: gradient fan-out processes (1 = serial, 0 = one per
+            CPU); bit-identical results for any value.
         rng: master seed.
     """
 
@@ -55,6 +57,7 @@ class EGNConfig:
     learning_rate: float = 0.05
     clip_bound: float = 1.0
     penalty: float = 0.5
+    grad_workers: int = 1
     rng: int | np.random.Generator | None = field(default=None, repr=False)
 
 
@@ -137,6 +140,7 @@ class EGNPipeline:
             sigma=sigma,
             max_occurrences=max_occurrences,
             loss=PenaltyLossConfig(penalty=config.penalty),
+            grad_workers=config.grad_workers,
         )
         trainer = DPGNNTrainer(
             self.model, container, training_config, self._training_rng, obs=obs

@@ -71,6 +71,8 @@ class HPConfig:
         ego_sample_rate: fraction of nodes whose ego nets enter the pool.
         iterations / batch_size / learning_rate / clip_bound / penalty:
             DP-SGD settings.
+        grad_workers: gradient fan-out processes (1 = serial, 0 = one per
+            CPU); bit-identical results for any value.
         rng: master seed.
     """
 
@@ -88,6 +90,7 @@ class HPConfig:
     learning_rate: float = 0.05
     clip_bound: float = 1.0
     penalty: float = 0.5
+    grad_workers: int = 1
     rng: int | np.random.Generator | None = field(default=None, repr=False)
 
 
@@ -188,6 +191,7 @@ class HPPipeline:
             sigma=sigma,
             max_occurrences=max_occurrences,
             loss=PenaltyLossConfig(penalty=config.penalty),
+            grad_workers=config.grad_workers,
         )
         trainer = DPGNNTrainer(
             self.model,

@@ -55,6 +55,10 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--workers", type=int, default=1,
                        help="sampling worker processes (1=serial, 0=one per CPU); "
                             "results are bit-identical for any value")
+    train.add_argument("--grad-workers", type=int, default=1,
+                       help="gradient fan-out processes per training iteration "
+                            "(1=serial, 0=one per CPU); results are "
+                            "bit-identical for any value")
     train.add_argument("--save", help="model-only checkpoint path (.npz)")
     train.add_argument("--checkpoint",
                        help="crash-safe training-state checkpoint path; resume "
@@ -120,6 +124,7 @@ def _build_parser() -> argparse.ArgumentParser:
     publish.add_argument("--iterations", type=int, default=40)
     publish.add_argument("--seed", type=int, default=0)
     publish.add_argument("--workers", type=int, default=1)
+    publish.add_argument("--grad-workers", type=int, default=1)
 
     serve = commands.add_parser(
         "serve", help="serve influence queries from a published model"
@@ -181,6 +186,7 @@ def _command_train(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         iterations=args.iterations,
         workers=args.workers,
+        grad_workers=args.grad_workers,
         checkpoint_every=checkpoint_every if args.checkpoint else None,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
@@ -312,6 +318,7 @@ def _build_pipeline(args: argparse.Namespace):
         threshold=args.threshold,
         iterations=args.iterations,
         workers=args.workers,
+        grad_workers=args.grad_workers,
         rng=args.seed,
     )
     if args.method == "privim":

@@ -1,0 +1,131 @@
+"""Static per-subgraph compute plans for the training loop.
+
+The subgraph container is frozen for the whole of Algorithm 2, yet the
+original trainer re-derived every piece of static per-subgraph data — edge
+index, weight vector, GCN self-loop normalisations, attention sort
+permutations, degree features — on *every* forward/backward pass of every
+iteration.  A :class:`ComputePlan` materialises that data once per subgraph
+and hands it to the model, layers, and loss; :class:`ComputePlanCache`
+holds one plan per container slot (generalising the trainer's old
+``_feature_cache``).
+
+Plans carry only graph-derived arrays (never model weights or RNG state),
+so they are safe to share read-only across the gradient fan-out's worker
+processes — zero-copy under ``fork``, pickled once per worker under
+``spawn`` — and sharing them cannot affect training results.
+
+Invalidation is by container *identity*: a cache is constructed for one
+container object and serves exactly that object's subgraphs.  Containers
+are append-frozen during training (the trainer owns the container for its
+lifetime), so no finer-grained invalidation is needed; a different
+container simply gets a fresh cache.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, TypeVar
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.gnn.features import degree_features
+from repro.graphs.graph import Graph
+from repro.nn import kernels
+from repro.sampling.container import SubgraphContainer
+
+__all__ = ["ComputePlan", "ComputePlanCache"]
+
+T = TypeVar("T")
+
+
+class ComputePlan:
+    """Precomputed static data for one subgraph.
+
+    The always-needed arrays (``edge_index``, ``edge_weight``) are built
+    eagerly; everything layer-specific goes through :meth:`memo`, a
+    build-once store keyed by the caller.  Layers use it for derived
+    structures the plan cannot know about (GCN's self-loop-normalised edge
+    set, attention-softmax sort permutations, flattened scatter indices),
+    which also deduplicates work across layers: every GCN layer of a stack
+    shares one normalisation, every GRAT layer one source-sort.
+
+    Memoised values must be pure functions of the subgraph structure —
+    never of model weights — so a plan computed once is valid for the whole
+    run and for every worker process.
+    """
+
+    __slots__ = ("graph", "num_nodes", "edge_index", "edge_weight", "_memo")
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.num_nodes = int(graph.num_nodes)
+        self.edge_index = graph.edge_index()
+        self.edge_weight = graph.edge_arrays()[2]
+        self._memo: dict[Hashable, object] = {}
+
+    def memo(self, key: Hashable, builder: Callable[[], T]) -> T:
+        """Return the value cached under ``key``, building it on first use."""
+        try:
+            return self._memo[key]  # type: ignore[return-value]
+        except KeyError:
+            value = builder()
+            self._memo[key] = value
+            return value
+
+    def features(self, dim: int) -> np.ndarray:
+        """Deterministic degree features of this subgraph (cached per dim)."""
+        return self.memo(
+            ("features", int(dim)), lambda: degree_features(self.graph, dim=dim)
+        )
+
+    def segment_sort(self, which: str) -> kernels.SegmentSort:
+        """Cached stable sort of the edge ``"source"``/``"target"`` array."""
+        row = 0 if which == "source" else 1
+        return self.memo(
+            ("segment_sort", which),
+            lambda: kernels.build_segment_sort(self.edge_index[row]),
+        )
+
+
+class ComputePlanCache:
+    """One :class:`ComputePlan` per subgraph of a fixed container.
+
+    Plans build lazily on first access; :meth:`prebuild` forces them all
+    (the trainer does this before forking gradient workers so the arrays
+    are shared copy-on-write instead of rebuilt per process).
+    """
+
+    def __init__(self, container: SubgraphContainer) -> None:
+        self._container = container
+        self._plans: dict[int, ComputePlan] = {}
+
+    @property
+    def container(self) -> SubgraphContainer:
+        return self._container
+
+    def matches(self, container: SubgraphContainer) -> bool:
+        """Whether this cache was built for exactly ``container``."""
+        return self._container is container
+
+    def plan(self, index: int) -> ComputePlan:
+        """The plan for container slot ``index`` (built on first use)."""
+        index = int(index)
+        plan = self._plans.get(index)
+        if plan is None:
+            if not 0 <= index < len(self._container):
+                raise TrainingError(
+                    f"plan index {index} out of range [0, {len(self._container)})"
+                )
+            plan = ComputePlan(self._container[index].graph)
+            self._plans[index] = plan
+        return plan
+
+    def prebuild(self, feature_dim: int | None = None) -> None:
+        """Force-build every plan (and optionally its feature matrix)."""
+        for index in range(len(self._container)):
+            plan = self.plan(index)
+            if feature_dim is not None:
+                plan.features(feature_dim)
+
+    def __len__(self) -> int:
+        return len(self._plans)

@@ -1,0 +1,219 @@
+"""Parallel clipped-gradient fan-out for Algorithm 2 (lines 4-6).
+
+Every DP-SGD iteration computes ``B`` independent per-subgraph gradients
+(forward, Eq. 5 loss, backward, clip).  This module fans them out over a
+process pool and reduces them **in deterministic batch-index order**, so
+the summed gradient — and therefore the noise draw, accountant state, and
+final weights — is bit-identical for every worker count.  It is the same
+serial-equivalence guarantee :mod:`repro.sampling.parallel` established
+for sampling, and it rests on three facts:
+
+1. **Per-subgraph gradient computation consumes no randomness.**  The
+   forward/backward pass is a pure function of (weights, subgraph), so
+   unlike sampling no ``spawn_rngs`` child-generator discipline is needed
+   worker-side; the batch-selection and noise generators never leave the
+   coordinator, exactly as in the serial loop.
+2. **Order-preserving chunking.**  The batch is split into contiguous
+   chunks; workers return per-subgraph results in submission order and the
+   coordinator sums them left-to-right in batch-index order — the same
+   float additions, in the same order, as the serial loop.
+3. **Read-only shared state.**  Following the fork-shared pattern of
+   ``sampling/parallel.py``, workers inherit the container's compute plans
+   zero-copy under ``fork`` (pickled once per worker elsewhere); only the
+   flat weight vector travels per task, and nothing worker-side mutates
+   shared data.
+
+``grad_workers`` is an execution detail with no effect on results, which
+is why the trainer's checkpoint privacy fingerprint excludes it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+
+import numpy as np
+
+from repro.core.compute_plan import ComputePlan, ComputePlanCache
+from repro.core.loss import PenaltyLossConfig, probabilistic_penalty_loss
+from repro.dp.clipping import clip_to_norm
+from repro.gnn.models import GNN
+from repro.nn import kernels
+from repro.nn.tensor import Tensor
+from repro.sampling.parallel import resolve_workers
+
+__all__ = ["GradientFanout", "subgraph_gradient", "resolve_workers"]
+
+
+def subgraph_gradient(
+    model: GNN,
+    plan: ComputePlan,
+    loss_config: PenaltyLossConfig,
+    clip_bound: float | None,
+) -> tuple[np.ndarray, float, float]:
+    """One clipped per-subgraph gradient: ``(gradient, loss, raw_norm)``.
+
+    This single function is the gradient computation for *both* the serial
+    path and every pool worker — sharing the code is what makes the
+    bit-identity guarantee structural rather than incidental.
+    """
+    features = Tensor(plan.features(model.config.in_features))
+    model.zero_grad()
+    seed_probabilities = model(features, plan.edge_index, plan.edge_weight, plan=plan)
+    loss = probabilistic_penalty_loss(
+        seed_probabilities,
+        plan.edge_index,
+        plan.edge_weight,
+        plan.num_nodes,
+        loss_config,
+        plan=plan,
+    )
+    loss.backward()
+    gradient = model.gradient_vector()
+    raw_norm = float(np.linalg.norm(gradient))
+    if clip_bound is not None:
+        gradient = clip_to_norm(gradient, clip_bound)
+    return gradient, float(loss.data), raw_norm
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side state (populated by the pool initializer in each process)
+# --------------------------------------------------------------------------- #
+_STATE: dict = {}
+
+
+def _worker_init(model_config, plans, loss_config, clip_bound, kernels_on) -> None:
+    """Build this worker's model shell and install the shared plan cache.
+
+    The model is constructed only for its parameter *layout* (weights are
+    overwritten from the per-task vector), so the config's RNG is replaced
+    by a constant.  ``plans`` arrives zero-copy under ``fork``; under
+    ``spawn`` it is pickled once per worker, never per task.  The kernel
+    flag is shipped explicitly so A/B legacy-path runs behave identically
+    in every process regardless of start method.
+    """
+    kernels.set_kernels_enabled(kernels_on)
+    _STATE["model"] = GNN(model_config)
+    _STATE["plans"] = plans
+    _STATE["loss"] = loss_config
+    _STATE["clip"] = clip_bound
+
+
+def _gradient_task(task):
+    """Compute the clipped gradients of one contiguous index chunk.
+
+    Returns the per-subgraph ``(gradient, loss, raw_norm)`` triples in
+    chunk order plus this task's kernel-dispatch counter deltas.
+    """
+    vector, indices = task
+    model = _STATE["model"]
+    model.load_parameter_vector(vector)
+    kernels.reset_kernel_stats()
+    results = []
+    for index in indices:
+        plan = _STATE["plans"].plan(int(index))
+        results.append(subgraph_gradient(model, plan, _STATE["loss"], _STATE["clip"]))
+    return results, kernels.kernel_stats()
+
+
+def _merge_stats(target: dict[str, int], delta: dict[str, int]) -> None:
+    for name, value in delta.items():
+        target[name] = target.get(name, 0) + value
+
+
+class GradientFanout:
+    """Computes a batch of clipped per-subgraph gradients, maybe in parallel.
+
+    ``workers == 1`` runs in-process with zero overhead (no pool is ever
+    created).  For ``workers > 1`` a process pool is created lazily on the
+    first batch and reused across iterations; call :meth:`close` when
+    training ends.  Either way :meth:`compute` returns results in exact
+    batch-index order together with the kernel-dispatch counter deltas of
+    the batch.
+    """
+
+    def __init__(
+        self,
+        model: GNN,
+        plans: ComputePlanCache,
+        loss_config: PenaltyLossConfig,
+        clip_bound: float | None,
+        workers: int,
+    ) -> None:
+        self.model = model
+        self.plans = plans
+        self.loss_config = loss_config
+        self.clip_bound = clip_bound
+        self.workers = resolve_workers(workers)
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            config = dataclasses.replace(self.model.config, rng=0)
+            methods = multiprocessing.get_all_start_methods()
+            if "fork" in methods:
+                context = multiprocessing.get_context("fork")
+            else:  # pragma: no cover - non-fork platforms
+                context = multiprocessing.get_context()
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_worker_init,
+                initargs=(
+                    config,
+                    self.plans,
+                    self.loss_config,
+                    self.clip_bound,
+                    kernels.kernels_enabled(),
+                ),
+            )
+        return self._pool
+
+    def compute(
+        self, batch_indices
+    ) -> tuple[list[tuple[np.ndarray, float, float]], dict[str, int]]:
+        """Per-subgraph ``(gradient, loss, raw_norm)`` in batch-index order."""
+        indices = np.asarray(batch_indices, dtype=np.int64)
+        stats: dict[str, int] = {}
+        if self.workers == 1 or len(indices) <= 1:
+            before = kernels.kernel_stats()
+            results = [
+                subgraph_gradient(
+                    self.model,
+                    self.plans.plan(int(index)),
+                    self.loss_config,
+                    self.clip_bound,
+                )
+                for index in indices
+            ]
+            for name, value in kernels.kernel_stats().items():
+                delta = value - before.get(name, 0)
+                if delta:
+                    stats[name] = delta
+            return results, stats
+
+        pool = self._ensure_pool()
+        vector = self.model.parameter_vector()
+        chunks = [
+            chunk
+            for chunk in np.array_split(indices, min(self.workers, len(indices)))
+            if len(chunk)
+        ]
+        tasks = [(vector, chunk) for chunk in chunks]
+        results: list[tuple[np.ndarray, float, float]] = []
+        for chunk_results, chunk_stats in pool.map(_gradient_task, tasks):
+            results.extend(chunk_results)
+            _merge_stats(stats, chunk_stats)
+        return results, stats
+
+    def close(self) -> None:
+        """Terminate the worker pool (no-op for the serial path)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "GradientFanout":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -71,6 +71,8 @@ def probabilistic_penalty_loss(
     edge_weight: np.ndarray | None,
     num_nodes: int,
     config: PenaltyLossConfig | None = None,
+    *,
+    plan=None,
 ) -> Tensor:
     """Eq. 5 on one (sub)graph.
 
@@ -80,6 +82,8 @@ def probabilistic_penalty_loss(
         edge_weight: ``(E,)`` influence probabilities ``w_vu`` (defaults 1).
         num_nodes: N.
         config: loss hyperparameters.
+        plan: optional compute plan built for the same edge set (reuses
+            validated/derived arrays across diffusion steps and calls).
 
     Returns:
         Scalar loss tensor.
@@ -98,7 +102,7 @@ def probabilistic_penalty_loss(
     current = column  # p̂_{i-1}, starting from the seed distribution
     for _ in range(config.diffusion_steps):
         aggregated = aggregate_neighbors(
-            current, edge_index, num_nodes, edge_weight=edge_weight
+            current, edge_index, num_nodes, edge_weight=edge_weight, plan=plan
         )
         step_probability = _apply_phi(aggregated, config.phi)
         factor = 1.0 - step_probability

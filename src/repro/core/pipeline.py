@@ -67,6 +67,11 @@ class PrivIMConfig:
             reference path, 0 = one per CPU).  The sampled container is
             bit-identical for any value under a fixed seed, so this is a
             pure throughput knob — see :mod:`repro.sampling.parallel`.
+        grad_workers: worker processes for the per-subgraph gradient
+            fan-out inside each training iteration (1 = serial, 0 = one
+            per CPU).  Same guarantee as ``workers``: bit-identical
+            weights, losses, and ε for any value — see
+            :mod:`repro.core.grad_fanout`.
         checkpoint_every: write a crash-safe training checkpoint every this
             many iterations (``None`` disables checkpointing).
         checkpoint_path: training-checkpoint file (``.npz`` appended when
@@ -99,6 +104,7 @@ class PrivIMConfig:
     diffusion_steps: int = 1
     phi: str = "clamp"
     workers: int = 1
+    grad_workers: int = 1
     checkpoint_every: int | None = None
     checkpoint_path: str | None = None
     resume: bool = False
@@ -334,6 +340,7 @@ class _BasePipeline:
             ),
             checkpoint_every=config.checkpoint_every,
             checkpoint_path=config.checkpoint_path,
+            grad_workers=config.grad_workers,
         )
         trainer = DPGNNTrainer(
             self.model, container, training_config, self._training_rng, obs=obs

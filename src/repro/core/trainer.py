@@ -19,17 +19,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.loss import PenaltyLossConfig, probabilistic_penalty_loss
+from repro.core.compute_plan import ComputePlanCache
+from repro.core.grad_fanout import GradientFanout, resolve_workers, subgraph_gradient
+from repro.core.loss import PenaltyLossConfig
 from repro.obs import Observability, ensure_obs
 from repro.dp.accountant import PrivacyAccountant
-from repro.dp.clipping import clip_to_norm
 from repro.dp.mechanisms import gaussian_noise
 from repro.dp.sensitivity import node_level_sensitivity
 from repro.errors import TrainingError
-from repro.gnn.features import degree_features
 from repro.gnn.models import GNN
 from repro.nn.optim import SGD
-from repro.nn.tensor import Tensor
 from repro.sampling.container import Subgraph, SubgraphContainer
 from repro.utils.rng import (
     ensure_rng,
@@ -58,6 +57,10 @@ class DPTrainingConfig:
             checkpointing.
         checkpoint_path: where the checkpoint is written (``.npz`` appended
             if missing).  Required when ``checkpoint_every`` is set.
+        grad_workers: processes for the per-subgraph gradient fan-out
+            (1 = in-process serial, 0 = one per CPU).  Purely an execution
+            detail: results are bit-identical for every value, so it is
+            deliberately absent from the checkpoint privacy fingerprint.
     """
 
     iterations: int = 30
@@ -69,6 +72,7 @@ class DPTrainingConfig:
     loss: PenaltyLossConfig = field(default_factory=PenaltyLossConfig)
     checkpoint_every: int | None = None
     checkpoint_path: str | None = None
+    grad_workers: int = 1
 
     def validate(self) -> None:
         """Raise :class:`TrainingError` on invalid settings."""
@@ -86,6 +90,8 @@ class DPTrainingConfig:
             raise TrainingError("noise requires a finite clip_bound (sensitivity = C·N_g)")
         if self.max_occurrences < 1:
             raise TrainingError(f"max_occurrences must be >= 1, got {self.max_occurrences}")
+        if self.grad_workers < 0:
+            raise TrainingError(f"grad_workers must be >= 0, got {self.grad_workers}")
         if self.checkpoint_every is not None:
             if self.checkpoint_every < 1:
                 raise TrainingError(
@@ -162,8 +168,11 @@ class DPGNNTrainer:
                 num_subgraphs=len(container),
                 max_occurrences=config.max_occurrences,
             )
-        # Per-subgraph feature cache: featurisation is deterministic.
-        self._feature_cache: dict[int, np.ndarray] = {}
+        # Static per-subgraph compute plans (edge arrays, normalisations,
+        # sort permutations, degree features), built once per container —
+        # generalises the old per-subgraph feature cache.
+        self._plans = ComputePlanCache(container)
+        self._fanout: GradientFanout | None = None
         # Diagnostics of the most recent train_step (observability only).
         self._last_clip_fraction = 0.0
         self._last_noise_norm = 0.0
@@ -174,49 +183,66 @@ class DPGNNTrainer:
         self.history = TrainingHistory()
 
     # ------------------------------------------------------------------ #
-    def _subgraph_features(self, index: int, subgraph: Subgraph) -> np.ndarray:
-        if index not in self._feature_cache:
-            self._feature_cache[index] = degree_features(
-                subgraph.graph, dim=self.model.config.in_features
-            )
-        return self._feature_cache[index]
-
     def _subgraph_gradient(self, index: int, subgraph: Subgraph) -> tuple[np.ndarray, float, float]:
-        """Per-subgraph clipped gradient, loss value, and pre-clip norm."""
-        graph = subgraph.graph
-        features = Tensor(self._subgraph_features(index, subgraph))
-        edge_index = graph.edge_index()
-        edge_weight = graph.edge_arrays()[2]
+        """Per-subgraph clipped gradient, loss value, and pre-clip norm.
 
-        self.model.zero_grad()
-        seed_probabilities = self.model(features, edge_index, edge_weight)
-        loss = probabilistic_penalty_loss(
-            seed_probabilities, edge_index, edge_weight, graph.num_nodes, self.config.loss
+        ``subgraph`` must be ``container[index]``; it is accepted for
+        call-site clarity while the compute plan is looked up by index.
+        """
+        del subgraph  # the plan cache serves the container's subgraphs
+        return subgraph_gradient(
+            self.model,
+            self._plans.plan(int(index)),
+            self.config.loss,
+            self.config.clip_bound,
         )
-        loss.backward()
-        gradient = self.model.gradient_vector()
-        raw_norm = float(np.linalg.norm(gradient))
-        if self.config.clip_bound is not None:
-            gradient = clip_to_norm(gradient, self.config.clip_bound)
-        return gradient, float(loss.data), raw_norm
+
+    def _ensure_fanout(self) -> GradientFanout:
+        if self._fanout is None:
+            workers = resolve_workers(self.config.grad_workers)
+            if workers > 1:
+                # Build every plan before forking so workers inherit the
+                # static arrays copy-on-write instead of each rebuilding
+                # them from the container.
+                self._plans.prebuild(self.model.config.in_features)
+            self._fanout = GradientFanout(
+                self.model,
+                self._plans,
+                self.config.loss,
+                self.config.clip_bound,
+                workers,
+            )
+        return self._fanout
+
+    def close(self) -> None:
+        """Release the gradient worker pool (safe to call repeatedly)."""
+        if self._fanout is not None:
+            self._fanout.close()
+            self._fanout = None
 
     def train_step(self) -> tuple[float, float]:
         """One Algorithm 2 iteration; returns (mean loss, mean raw norm)."""
         batch_indices = self._batch_rng.choice(
             len(self.container), size=self.config.batch_size, replace=False
         )
+        fanout = self._ensure_fanout()
+        with self.obs.span("train.grad.fanout"):
+            results, kernel_stats = fanout.compute(batch_indices)
+        # Deterministic left-to-right reduction in batch-index order: the
+        # same float additions, in the same order, as the serial loop — so
+        # the private gradient is bit-identical for every grad_workers.
         gradient_sum: np.ndarray | None = None
         losses: list[float] = []
         norms: list[float] = []
-        for index in batch_indices:
-            gradient, loss_value, raw_norm = self._subgraph_gradient(
-                int(index), self.container[int(index)]
-            )
+        for gradient, loss_value, raw_norm in results:
             gradient_sum = gradient if gradient_sum is None else gradient_sum + gradient
             losses.append(loss_value)
             norms.append(raw_norm)
 
         observing = self.obs.enabled
+        if observing:
+            for name, value in kernel_stats.items():
+                self.obs.counter(f"train.kernel.{name}").inc(value)
         if observing:
             if self.config.clip_bound is not None:
                 self._last_clip_fraction = float(
@@ -265,30 +291,35 @@ class DPGNNTrainer:
         """
         config = self.config
         obs = self.obs
-        while self._iteration < config.iterations:
-            with obs.span("train.iteration") as span:
-                loss_value, raw_norm = self.train_step()
-                if scheduler is not None:
-                    scheduler.step()
-            self._iteration += 1
-            self.history.losses.append(loss_value)
-            self.history.gradient_norms.append(raw_norm)
-            self.history.seconds.append(span.seconds)
-            if obs.enabled:
-                obs.event(
-                    "iteration",
-                    iteration=self._iteration,
-                    loss=loss_value,
-                    gradient_norm=raw_norm,
-                    clip_fraction=self._last_clip_fraction,
-                    noise_norm=self._last_noise_norm,
-                    seconds=span.seconds,
-                )
-            if config.checkpoint_every is not None and (
-                self._iteration % config.checkpoint_every == 0
-                or self._iteration == config.iterations
-            ):
-                self.save_checkpoint(scheduler=scheduler)
+        try:
+            while self._iteration < config.iterations:
+                with obs.span("train.iteration") as span:
+                    loss_value, raw_norm = self.train_step()
+                    if scheduler is not None:
+                        scheduler.step()
+                self._iteration += 1
+                self.history.losses.append(loss_value)
+                self.history.gradient_norms.append(raw_norm)
+                self.history.seconds.append(span.seconds)
+                if obs.enabled:
+                    obs.event(
+                        "iteration",
+                        iteration=self._iteration,
+                        loss=loss_value,
+                        gradient_norm=raw_norm,
+                        clip_fraction=self._last_clip_fraction,
+                        noise_norm=self._last_noise_norm,
+                        seconds=span.seconds,
+                    )
+                if config.checkpoint_every is not None and (
+                    self._iteration % config.checkpoint_every == 0
+                    or self._iteration == config.iterations
+                ):
+                    self.save_checkpoint(scheduler=scheduler)
+        finally:
+            # Release the gradient pool between runs; a later train() or
+            # train_step() call simply recreates it.
+            self.close()
         return self.history
 
     # ------------------------------------------------------------------ #
@@ -302,6 +333,10 @@ class DPGNNTrainer:
         step meant, so :meth:`load_state_dict` rejects any mismatch.
         ``iterations`` is deliberately excluded — extending ``T`` is how a
         finished run is legitimately continued (with ε re-accounted).
+        ``grad_workers`` (and the kernel toggle) are likewise excluded on
+        purpose: they are execution details with bit-identical results, so
+        a checkpoint written by a 2-worker run must resume under 1 worker
+        (or any other count) without re-accounting anything.
         """
         config = self.config
         return {

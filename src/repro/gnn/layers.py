@@ -19,8 +19,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.gnn.message_passing import add_self_loops, aggregate_neighbors, check_edge_index
+from repro.gnn.message_passing import (
+    add_self_loops,
+    aggregate_neighbors,
+    check_edge_index,
+    unit_edge_weights,
+)
 from repro.nn import functional as F
+from repro.nn import kernels
 from repro.nn.init import xavier_uniform
 from repro.nn.module import Linear, Module, Parameter
 from repro.nn.tensor import Tensor, concat
@@ -41,24 +47,49 @@ class GCNConv(Module):
         self.self_loops = bool(self_loops)
 
     def forward(
-        self, x: Tensor, edge_index: np.ndarray, edge_weight: np.ndarray | None = None
+        self,
+        x: Tensor,
+        edge_index: np.ndarray,
+        edge_weight: np.ndarray | None = None,
+        *,
+        plan=None,
     ) -> Tensor:
         num_nodes = x.shape[0]
-        edges = check_edge_index(edge_index, num_nodes)
-        weights = (
-            np.ones(edges.shape[1])
-            if edge_weight is None
-            else np.asarray(edge_weight, dtype=np.float64)
+
+        def build_normalised_edges() -> tuple[np.ndarray, np.ndarray]:
+            edges = check_edge_index(edge_index, num_nodes)
+            weights = (
+                np.ones(edges.shape[1])
+                if edge_weight is None
+                else np.asarray(edge_weight, dtype=np.float64)
+            )
+            if self.self_loops:
+                edges, weights = add_self_loops(edges, weights, num_nodes)
+            sources, targets = edges[0], edges[1]
+            degree = np.bincount(targets, weights=weights, minlength=num_nodes)
+            degree_source = np.bincount(sources, weights=weights, minlength=num_nodes)
+            inv_sqrt_in = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+            inv_sqrt_out = 1.0 / np.sqrt(np.maximum(degree_source, 1e-12))
+            norm = weights * inv_sqrt_out[sources] * inv_sqrt_in[targets]
+            return edges, norm
+
+        # Edges and weights are static per subgraph, so the self-loop
+        # augmentation and symmetric normalisation are plan-cacheable; every
+        # GCN layer of a stack shares the same entry.
+        if plan is not None:
+            edges, norm = plan.memo(
+                ("gcn.norm", self.self_loops), build_normalised_edges
+            )
+        else:
+            edges, norm = build_normalised_edges()
+        aggregated = aggregate_neighbors(
+            x,
+            edges,
+            num_nodes,
+            edge_weight=norm,
+            plan=plan,
+            plan_key=f"gcn.loops={self.self_loops}",
         )
-        if self.self_loops:
-            edges, weights = add_self_loops(edges, weights, num_nodes)
-        sources, targets = edges[0], edges[1]
-        degree = np.bincount(targets, weights=weights, minlength=num_nodes)
-        degree_source = np.bincount(sources, weights=weights, minlength=num_nodes)
-        inv_sqrt_in = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
-        inv_sqrt_out = 1.0 / np.sqrt(np.maximum(degree_source, 1e-12))
-        norm = weights * inv_sqrt_out[sources] * inv_sqrt_in[targets]
-        aggregated = aggregate_neighbors(x, edges, num_nodes, edge_weight=norm)
         return self.linear(aggregated)
 
 
@@ -75,11 +106,16 @@ class SAGEConv(Module):
         self.linear = Linear(2 * in_features, out_features, rng=rng)
 
     def forward(
-        self, x: Tensor, edge_index: np.ndarray, edge_weight: np.ndarray | None = None
+        self,
+        x: Tensor,
+        edge_index: np.ndarray,
+        edge_weight: np.ndarray | None = None,
+        *,
+        plan=None,
     ) -> Tensor:
         num_nodes = x.shape[0]
         aggregated = aggregate_neighbors(
-            x, edge_index, num_nodes, edge_weight=edge_weight, reduce="mean"
+            x, edge_index, num_nodes, edge_weight=edge_weight, reduce="mean", plan=plan
         )
         return self.linear(concat([x, aggregated], axis=1))
 
@@ -139,24 +175,87 @@ class _AttentionConv(Module):
         return self.attentions[0]
 
     def forward(
-        self, x: Tensor, edge_index: np.ndarray, edge_weight: np.ndarray | None = None
+        self,
+        x: Tensor,
+        edge_index: np.ndarray,
+        edge_weight: np.ndarray | None = None,
+        *,
+        plan=None,
     ) -> Tensor:
         num_nodes = x.shape[0]
-        edges = check_edge_index(edge_index, num_nodes)
+        if plan is not None:
+            edges = plan.memo(
+                ("agg.edges", "base"), lambda: check_edge_index(edge_index, num_nodes)
+            )
+        else:
+            edges = check_edge_index(edge_index, num_nodes)
         if edges.shape[1] == 0:
             return self.linear(x) * 0.0
         sources, targets = edges[0], edges[1]
 
         transformed = self.linear(x)
         segments = targets if self.normalize_over == "target" else sources
-        weight_column = (
-            None
-            if edge_weight is None
-            else Tensor(np.asarray(edge_weight, dtype=np.float64).reshape(-1, 1))
-        )
-        source_feats = transformed.gather_rows(sources)
-        target_feats = transformed.gather_rows(targets)
+        # The per-softmax-segment sort and the per-target scatter index are
+        # pure functions of the edge set, shared by every attention layer.
+        sort = None if plan is None else plan.segment_sort(self.normalize_over)
+        flat_index = None
+        if (
+            plan is not None
+            and kernels.kernels_enabled()
+            and self.head_dim > kernels.COLUMN_WIDTH_THRESHOLD
+        ):
+            flat_index = plan.memo(
+                ("attn.flat", self.head_dim),
+                lambda: kernels.flat_scatter_index(targets, self.head_dim),
+            )
+        weight_column = None
+        if edge_weight is not None:
+            weights = np.asarray(edge_weight, dtype=np.float64)
+            # All-ones weights make the per-message multiply an exact no-op.
+            if not unit_edge_weights(weights, plan):
+                weight_column = Tensor(weights.reshape(-1, 1))
+        # The gathers' backward pass scatters an E x out_features gradient
+        # back per node; precompute its combined index once per edge
+        # direction so every layer and iteration reuses it.
+        width = transformed.shape[1]
+        source_flat = target_flat = None
+        if (
+            plan is not None
+            and kernels.kernels_enabled()
+            and width > kernels.COLUMN_WIDTH_THRESHOLD
+        ):
+            source_flat = plan.memo(
+                ("gather.flat", "source", width),
+                lambda: kernels.flat_scatter_index(sources, width),
+            )
+            target_flat = plan.memo(
+                ("gather.flat", "target", width),
+                lambda: kernels.flat_scatter_index(targets, width),
+            )
+        source_feats = transformed.gather_rows(sources, flat_index=source_flat)
 
+        if self.heads == 1:
+            # Single-head fast path: the column selector would be the
+            # identity, and the gather/concat, matmul/leaky/reshape, and
+            # multiply/scatter triples collapse into fused nodes — each
+            # bit-identical to the composition it replaces.
+            pair = F.concat_gather_rows(
+                source_feats, transformed, targets, flat_index=target_flat
+            )
+            logits = F.edge_attention_logits(
+                pair, self.attentions[0], self.negative_slope
+            )
+            alpha = F.segment_softmax(logits, segments, num_nodes, sort=sort)
+            if weight_column is None:
+                return F.scatter_weighted_rows(
+                    source_feats, alpha, targets, num_nodes, flat_index=flat_index
+                )
+            messages = source_feats * alpha.reshape(-1, 1) * weight_column
+            return F.scatter_add_rows(
+                messages, targets, num_nodes, flat_index=flat_index
+            )
+
+        target_feats = transformed.gather_rows(targets, flat_index=target_flat)
         head_outputs = []
         for head, attention in enumerate(self.attentions):
             lo = head * self.head_dim
@@ -165,13 +264,13 @@ class _AttentionConv(Module):
             head_targets = target_feats @ selector
             pair = concat([head_sources, head_targets], axis=1)
             logits = F.leaky_relu(pair @ attention, self.negative_slope).reshape(-1)
-            alpha = F.segment_softmax(logits, segments, num_nodes)
+            alpha = F.segment_softmax(logits, segments, num_nodes, sort=sort)
             messages = head_sources * alpha.reshape(-1, 1)
             if weight_column is not None:
                 messages = messages * weight_column
-            head_outputs.append(F.scatter_add_rows(messages, targets, num_nodes))
-        if len(head_outputs) == 1:
-            return head_outputs[0]
+            head_outputs.append(
+                F.scatter_add_rows(messages, targets, num_nodes, flat_index=flat_index)
+            )
         return concat(head_outputs, axis=1)
 
 
@@ -244,9 +343,16 @@ class GINConv(Module):
         self.epsilon = Parameter(np.zeros(1))  # the learnable ω
 
     def forward(
-        self, x: Tensor, edge_index: np.ndarray, edge_weight: np.ndarray | None = None
+        self,
+        x: Tensor,
+        edge_index: np.ndarray,
+        edge_weight: np.ndarray | None = None,
+        *,
+        plan=None,
     ) -> Tensor:
         num_nodes = x.shape[0]
-        aggregated = aggregate_neighbors(x, edge_index, num_nodes, edge_weight=edge_weight)
+        aggregated = aggregate_neighbors(
+            x, edge_index, num_nodes, edge_weight=edge_weight, plan=plan
+        )
         combined = aggregated + x * (1.0 + self.epsilon)
         return self.mlp_out(self.mlp_in(combined).relu())

@@ -17,7 +17,28 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.nn import functional as F
+from repro.nn import kernels
 from repro.nn.tensor import Tensor
+
+
+def _row_width(shape: tuple[int, ...]) -> int:
+    """Product of the non-leading dimensions (1 for 1-D shapes)."""
+    width = 1
+    for dim in shape[1:]:
+        width *= dim
+    return width
+
+
+def unit_edge_weights(weights: np.ndarray, plan=None) -> bool:
+    """Whether every edge weight is exactly 1.0 (making weighting a no-op).
+
+    When ``weights`` is the plan graph's own weight array the answer comes
+    from the graph's cached ``has_unit_weights`` flag; otherwise the array
+    is scanned (cheap next to the multiply it can eliminate).
+    """
+    if plan is not None and weights is plan.edge_weight:
+        return plan.graph.has_unit_weights
+    return weights.size == 0 or bool(np.all(weights == 1.0))
 
 
 def check_edge_index(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
@@ -53,6 +74,8 @@ def aggregate_neighbors(
     *,
     edge_weight: np.ndarray | None = None,
     reduce: str = "sum",
+    plan=None,
+    plan_key: str = "base",
 ) -> Tensor:
     """Aggregate source-node features onto targets.
 
@@ -65,22 +88,69 @@ def aggregate_neighbors(
         edge_weight: optional ``(E,)`` multiplicative weights.
         reduce: ``"sum"`` or ``"mean"`` (mean divides by in-degree,
             counting only present edges; isolated nodes stay zero).
+        plan: optional :class:`repro.core.compute_plan.ComputePlan` holding
+            build-once derived data (validated edges, in-degrees, scatter
+            indices).  The plan changes nothing numerically — only how
+            often the static arrays are rebuilt.
+        plan_key: identifies the edge set within the plan.  Callers passing
+            anything other than the plan's own edges (e.g. the GCN's
+            self-loop-augmented set) must use a distinct key.
     """
-    edges = check_edge_index(edge_index, num_nodes)
+    if plan is not None:
+        edges = plan.memo(
+            ("agg.edges", plan_key), lambda: check_edge_index(edge_index, num_nodes)
+        )
+    else:
+        edges = check_edge_index(edge_index, num_nodes)
     sources, targets = edges[0], edges[1]
-    messages = x.gather_rows(sources)
+    gather_flat = None
+    x_width = _row_width(x.shape)
+    if (
+        plan is not None
+        and kernels.kernels_enabled()
+        and x.ndim > 1
+        and x_width > kernels.COLUMN_WIDTH_THRESHOLD
+    ):
+        gather_flat = plan.memo(
+            ("agg.gather_flat", plan_key, x_width),
+            lambda: kernels.flat_scatter_index(sources, x_width),
+        )
+    messages = x.gather_rows(sources, flat_index=gather_flat)
     if edge_weight is not None:
         weights = np.asarray(edge_weight, dtype=np.float64)
         if weights.shape != (edges.shape[1],):
             raise ShapeError(
                 f"edge_weight must have shape ({edges.shape[1]},), got {weights.shape}"
             )
-        messages = messages * Tensor(weights.reshape(-1, 1))
-    aggregated = F.scatter_add_rows(messages, targets, num_nodes)
+        # Multiplying by an all-ones weight column is an exact no-op
+        # (x * 1.0 is bit-identical to x); skipping it removes a forward
+        # multiply and its two backward products per aggregation.
+        if not unit_edge_weights(weights, plan):
+            messages = messages * Tensor(weights.reshape(-1, 1))
+    flat_index = None
+    width = _row_width(messages.shape)
+    if (
+        plan is not None
+        and kernels.kernels_enabled()
+        and messages.ndim > 1
+        and width > kernels.COLUMN_WIDTH_THRESHOLD
+    ):
+        flat_index = plan.memo(
+            ("agg.flat", plan_key, width),
+            lambda: kernels.flat_scatter_index(targets, width),
+        )
+    aggregated = F.scatter_add_rows(messages, targets, num_nodes, flat_index=flat_index)
     if reduce == "sum":
         return aggregated
     if reduce == "mean":
-        degree = np.bincount(targets, minlength=num_nodes).astype(np.float64)
-        degree[degree == 0] = 1.0
-        return aggregated * Tensor(1.0 / degree.reshape(-1, 1))
+        def build_inverse_degree() -> np.ndarray:
+            degree = np.bincount(targets, minlength=num_nodes).astype(np.float64)
+            degree[degree == 0] = 1.0
+            return 1.0 / degree.reshape(-1, 1)
+
+        if plan is not None:
+            inverse = plan.memo(("agg.inv_degree", plan_key), build_inverse_degree)
+        else:
+            inverse = build_inverse_degree()
+        return aggregated * Tensor(inverse)
     raise ShapeError(f"reduce must be 'sum' or 'mean', got {reduce!r}")

@@ -106,18 +106,34 @@ class GNN(Module):
         return self.config.num_layers
 
     def node_embeddings(
-        self, x: Tensor, edge_index: np.ndarray, edge_weight: np.ndarray | None = None
+        self,
+        x: Tensor,
+        edge_index: np.ndarray,
+        edge_weight: np.ndarray | None = None,
+        *,
+        plan=None,
     ) -> Tensor:
-        """Hidden representation after all convolutions, shape ``(N, hidden)``."""
+        """Hidden representation after all convolutions, shape ``(N, hidden)``.
+
+        ``plan`` optionally carries a
+        :class:`repro.core.compute_plan.ComputePlan` built for the same
+        edge set, letting the layers reuse static derived arrays instead of
+        rebuilding them each call; it never changes the result.
+        """
         hidden = x
         for conv in self.convs:
-            hidden = conv(hidden, edge_index, edge_weight).relu()
+            hidden = conv(hidden, edge_index, edge_weight, plan=plan).relu()
         return hidden
 
     def forward(
-        self, x: Tensor, edge_index: np.ndarray, edge_weight: np.ndarray | None = None
+        self,
+        x: Tensor,
+        edge_index: np.ndarray,
+        edge_weight: np.ndarray | None = None,
+        *,
+        plan=None,
     ) -> Tensor:
-        hidden = self.node_embeddings(x, edge_index, edge_weight)
+        hidden = self.node_embeddings(x, edge_index, edge_weight, plan=plan)
         return self.head(hidden).sigmoid().reshape(-1)
 
 

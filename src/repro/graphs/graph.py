@@ -107,6 +107,13 @@ class Graph:
         self._in_indptr, self._in_indices, self._in_weights = _build_csr(
             num_nodes, self._targets, self._sources, weight_array
         )
+        self._init_caches()
+
+    def _init_caches(self) -> None:
+        """Reset the lazily-built derived-array caches."""
+        self._edge_arrays_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._edge_index_cache: np.ndarray | None = None
+        self._has_unit_weights: bool | None = None
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -183,14 +190,49 @@ class Graph:
                 )
 
     def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """All arcs as ``(sources, targets, weights)`` arrays (CSR order)."""
-        sources = np.repeat(np.arange(self.num_nodes), np.diff(self._out_indptr))
-        return sources, self._out_indices.copy(), self._out_weights.copy()
+        """All arcs as ``(sources, targets, weights)`` arrays (CSR order).
+
+        The graph is immutable, so the triple is materialised once and the
+        cached arrays are returned read-only on every later call (the
+        training loop asks for them every iteration).  Callers needing a
+        mutable array must copy.
+        """
+        if self._edge_arrays_cache is None:
+            sources = np.repeat(np.arange(self.num_nodes), np.diff(self._out_indptr))
+            targets = self._out_indices.copy()
+            weights = self._out_weights.copy()
+            for array in (sources, targets, weights):
+                array.setflags(write=False)
+            self._edge_arrays_cache = (sources, targets, weights)
+        return self._edge_arrays_cache
 
     def edge_index(self) -> np.ndarray:
-        """Arcs as a ``(2, E)`` array ``[sources; targets]`` for GNN layers."""
-        sources, targets, _ = self.edge_arrays()
-        return np.stack([sources, targets])
+        """Arcs as a ``(2, E)`` array ``[sources; targets]`` for GNN layers.
+
+        Built once and returned read-only thereafter (see
+        :meth:`edge_arrays`).
+        """
+        if self._edge_index_cache is None:
+            sources, targets, _ = self.edge_arrays()
+            stacked = np.stack([sources, targets])
+            stacked.setflags(write=False)
+            self._edge_index_cache = stacked
+        return self._edge_index_cache
+
+    @property
+    def has_unit_weights(self) -> bool:
+        """Whether every arc weight is exactly 1.0 (computed once, cached).
+
+        The deterministic-coverage fast path of
+        :func:`repro.im.spread.estimate_spread` branches on this per call —
+        hot in the serving ``/v1/spread`` path — so the answer must not
+        require rescanning the weight vector each time.
+        """
+        if self._has_unit_weights is None:
+            self._has_unit_weights = bool(
+                self._out_weights.size == 0 or np.all(self._out_weights == 1.0)
+            )
+        return self._has_unit_weights
 
     # ------------------------------------------------------------------ #
     # CSR views and reconstruction
@@ -246,6 +288,7 @@ class Graph:
         )
         graph._targets = graph._out_indices.copy()
         graph._weights_raw = graph._out_weights.copy()
+        graph._init_caches()
         return graph
 
     # ------------------------------------------------------------------ #

@@ -137,9 +137,8 @@ def greedy_im(
             rng=rng,
         )
 
-    weights = graph.edge_arrays()[2] if graph.num_edges else np.ones(0)
     deterministic = model.lower() == "ic" and steps is not None and (
-        graph.num_edges == 0 or bool(np.all(weights == 1.0))
+        graph.num_edges == 0 or graph.has_unit_weights
     )
     if deterministic:
         seeds, spread = celf_coverage(graph, k, steps=steps)

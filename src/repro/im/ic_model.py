@@ -86,9 +86,7 @@ def estimate_ic_spread(
         raise GraphError(f"num_simulations must be >= 1, got {num_simulations}")
     generator = ensure_rng(rng)
 
-    deterministic = graph.num_edges == 0 or bool(
-        np.all(graph.edge_arrays()[2] == 1.0)
-    )
+    deterministic = graph.num_edges == 0 or graph.has_unit_weights
     runs = 1 if deterministic else num_simulations
     total = 0
     for _ in range(runs):

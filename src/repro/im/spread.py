@@ -26,22 +26,36 @@ def coverage_spread(graph: Graph, seeds: Iterable[int], *, steps: int = 1) -> in
 
     ``|S ∪ N_out(S) ∪ ... ∪ N_out^steps(S)|`` — the paper's evaluation
     metric with its default parameters (w=1, j=1, so one-hop coverage).
+
+    Vectorised CSR frontier expansion: each step gathers every frontier
+    node's out-neighbour range from the CSR arrays in one shot, dedups
+    with ``np.unique``, and keeps only nodes not yet covered.  Equivalent
+    to (and regression-tested against) the per-node set-based BFS.
     """
     if steps < 0:
         raise GraphError(f"steps must be >= 0, got {steps}")
     seed_list = _check_seeds(graph, seeds)
-    covered: set[int] = set(seed_list)
-    frontier = list(seed_list)
+    covered = np.zeros(graph.num_nodes, dtype=bool)
+    frontier = np.asarray(seed_list, dtype=np.int64)
+    covered[frontier] = True
+    indptr, indices, _ = graph.out_csr()
     for _ in range(steps):
-        next_frontier: list[int] = []
-        for node in frontier:
-            for neighbor in graph.out_neighbors(node):
-                neighbor = int(neighbor)
-                if neighbor not in covered:
-                    covered.add(neighbor)
-                    next_frontier.append(neighbor)
-        frontier = next_frontier
-    return len(covered)
+        if len(frontier) == 0:
+            break
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Multi-row CSR gather: offsets[j] walks each frontier node's
+        # neighbour range contiguously.
+        offsets = np.repeat(starts - np.r_[0, np.cumsum(counts)[:-1]], counts)
+        neighbors = indices[offsets + np.arange(total, dtype=np.int64)]
+        fresh = np.unique(neighbors)
+        fresh = fresh[~covered[fresh]]
+        covered[fresh] = True
+        frontier = fresh
+    return int(np.count_nonzero(covered))
 
 
 def estimate_spread(
@@ -77,8 +91,7 @@ def estimate_spread(
     generator = ensure_rng(rng)
     name = model.lower()
     if name == "ic":
-        weights = graph.edge_arrays()[2]
-        if steps is not None and (graph.num_edges == 0 or np.all(weights == 1.0)):
+        if steps is not None and (graph.num_edges == 0 or graph.has_unit_weights):
             return float(coverage_spread(graph, seeds, steps=steps))
         return estimate_ic_spread(
             graph, seeds, num_simulations=num_simulations, max_steps=steps, rng=generator

@@ -9,7 +9,7 @@ are obtained by running ``backward()`` once per subgraph.
 """
 
 from repro.nn.tensor import Tensor, no_grad
-from repro.nn import functional
+from repro.nn import functional, kernels
 from repro.nn.module import Dropout, Linear, Module, Parameter, Sequential
 from repro.nn.init import kaiming_uniform, xavier_uniform, zeros_
 from repro.nn.optim import SGD, Adam, Optimizer
@@ -19,6 +19,7 @@ __all__ = [
     "Tensor",
     "no_grad",
     "functional",
+    "kernels",
     "Module",
     "Parameter",
     "Linear",

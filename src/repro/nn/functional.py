@@ -12,12 +12,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import AutogradError, ShapeError
+from repro.nn import kernels
 from repro.nn.tensor import Tensor, concat
+
+_INT64 = np.dtype(np.int64)
 
 __all__ = [
     "concat",
+    "concat_gather_rows",
+    "edge_attention_logits",
     "gather_rows",
     "scatter_add_rows",
+    "scatter_weighted_rows",
     "segment_softmax",
     "segment_sum",
     "sigmoid",
@@ -35,26 +41,49 @@ def gather_rows(tensor: Tensor, indices: np.ndarray) -> Tensor:
     return Tensor._lift(tensor).gather_rows(indices)
 
 
-def scatter_add_rows(tensor: Tensor, indices: np.ndarray, num_rows: int) -> Tensor:
+def scatter_add_rows(
+    tensor: Tensor,
+    indices: np.ndarray,
+    num_rows: int,
+    *,
+    flat_index: np.ndarray | None = None,
+) -> Tensor:
     """Scatter-add rows of ``tensor`` into a ``(num_rows, ...)`` output.
 
     ``out[i] = Σ_{j : indices[j] == i} tensor[j]`` — the aggregation step of
     message passing.  The gradient is a row gather.
+
+    With the fused kernels enabled (the default) the forward runs through
+    :func:`repro.nn.kernels.segment_sum`, which is bit-identical to the
+    ``np.add.at`` reference; ``flat_index`` optionally carries the
+    precomputed combined index a compute plan caches for wide features.
     """
     source = Tensor._lift(tensor)
-    idx = np.asarray(indices, dtype=np.int64)
+    idx = (
+        indices
+        if type(indices) is np.ndarray and indices.dtype == _INT64
+        else np.asarray(indices, dtype=np.int64)
+    )
     if idx.ndim != 1 or len(idx) != source.shape[0]:
         raise ShapeError(
             f"indices must be 1-D with length {source.shape[0]}, got shape {idx.shape}"
         )
-    if len(idx) and (idx.min() < 0 or idx.max() >= num_rows):
+    # A caller-supplied flat_index comes from a compute plan built over
+    # already-validated edges, so the range scan can be skipped.
+    if flat_index is None and len(idx) and (idx.min() < 0 or idx.max() >= num_rows):
         raise AutogradError("scatter indices out of range")
-    out_data = np.zeros((num_rows,) + source.shape[1:], dtype=np.float64)
-    np.add.at(out_data, idx, source.data)
+    if kernels.kernels_enabled():
+        out_data = kernels.segment_sum(
+            source.data, idx, num_rows, flat_index=flat_index
+        )
+    else:
+        kernels.count_legacy("add_at")
+        out_data = np.zeros((num_rows,) + source.shape[1:], dtype=np.float64)
+        np.add.at(out_data, idx, source.data)
 
     def backward_fn(grad: np.ndarray) -> None:
         if source.requires_grad:
-            source._accumulate(grad[idx])
+            source._accumulate_owned(grad[idx])
 
     return source._make(out_data, (source,), backward_fn)
 
@@ -64,7 +93,120 @@ def segment_sum(values: Tensor, segments: np.ndarray, num_segments: int) -> Tens
     return scatter_add_rows(values, segments, num_segments)
 
 
-def segment_softmax(logits: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
+def _as_int64(indices: np.ndarray) -> np.ndarray:
+    if type(indices) is np.ndarray and indices.dtype == _INT64:
+        return indices
+    return np.asarray(indices, dtype=np.int64)
+
+
+def concat_gather_rows(
+    left: Tensor,
+    tensor: Tensor,
+    indices: np.ndarray,
+    *,
+    flat_index: np.ndarray | None = None,
+) -> Tensor:
+    """Fused ``concat([left, tensor[indices]], axis=1)``.
+
+    Attention layers pair every edge's source features with its target
+    features; fusing the second gather into the concatenation keeps the
+    graph one node smaller per layer.  Forward bytes and gradient bytes are
+    identical to the composed ``concat``/``gather_rows`` chain — the
+    backward performs the same scatter, in the same order (target half
+    first, matching the composed firing order), on the same values.
+    """
+    left_t = Tensor._lift(left)
+    source = Tensor._lift(tensor)
+    idx = _as_int64(indices)
+    width = left_t.data.shape[1]
+    out_data = np.concatenate([left_t.data, source.data[idx]], axis=1)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if source.requires_grad:
+            if kernels.kernels_enabled():
+                full = kernels.segment_sum(
+                    grad[:, width:], idx, source.data.shape[0], flat_index=flat_index
+                )
+            else:
+                kernels.count_legacy("add_at")
+                full = np.zeros_like(source.data)
+                np.add.at(full, idx, grad[:, width:])
+            source._accumulate_owned(full)
+        if left_t.requires_grad:
+            left_t._accumulate(grad[:, :width])
+
+    return left_t._make(out_data, (left_t, source), backward_fn)
+
+
+def edge_attention_logits(
+    pair: Tensor, attention: Tensor, negative_slope: float
+) -> Tensor:
+    """Fused ``leaky_relu(pair @ attention).reshape(-1)``.
+
+    One node in place of the matmul/leaky-relu/reshape triple; forward and
+    backward replay the composed chain's floating-point operations in the
+    same order, so the result is bit-identical.
+    """
+    p = Tensor._lift(pair)
+    a = Tensor._lift(attention)
+    scores = p.data @ a.data
+    scale = np.where(scores > 0, 1.0, negative_slope)
+    out_data = (scores * scale).reshape(-1)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        g_scores = grad.reshape(-1, 1) * scale
+        if p.requires_grad:
+            p._accumulate_owned(g_scores @ a.data.T)
+        if a.requires_grad:
+            a._accumulate_owned(p.data.T @ g_scores)
+
+    return p._make(out_data, (p, a), backward_fn)
+
+
+def scatter_weighted_rows(
+    values: Tensor,
+    weights: Tensor,
+    indices: np.ndarray,
+    num_rows: int,
+    *,
+    flat_index: np.ndarray | None = None,
+) -> Tensor:
+    """Fused ``scatter_add_rows(values * weights.reshape(-1, 1), ...)``.
+
+    The attention message aggregation: per-edge feature rows scaled by the
+    per-edge attention coefficient, scatter-added onto targets.  One node in
+    place of reshape/multiply/scatter, bit-identical to the composition.
+    """
+    v = Tensor._lift(values)
+    w = Tensor._lift(weights)
+    idx = _as_int64(indices)
+    w_column = w.data.reshape(-1, 1)
+    messages = v.data * w_column
+    if kernels.kernels_enabled():
+        out_data = kernels.segment_sum(messages, idx, num_rows, flat_index=flat_index)
+    else:
+        kernels.count_legacy("add_at")
+        out_data = np.zeros((num_rows,) + messages.shape[1:], dtype=np.float64)
+        np.add.at(out_data, idx, messages)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        g_messages = grad[idx]
+        if v.requires_grad:
+            v._accumulate_owned(g_messages * w_column)
+        if w.requires_grad:
+            g_weights = (g_messages * v.data).sum(axis=1, keepdims=True)
+            w._accumulate_owned(g_weights.reshape(-1))
+
+    return v._make(out_data, (v, w), backward_fn)
+
+
+def segment_softmax(
+    logits: Tensor,
+    segments: np.ndarray,
+    num_segments: int,
+    *,
+    sort: "kernels.SegmentSort | None" = None,
+) -> Tensor:
     """Softmax over groups of entries that share a segment id.
 
     Used for attention coefficients: ``logits`` holds one score per edge and
@@ -75,21 +217,74 @@ def segment_softmax(logits: Tensor, segments: np.ndarray, num_segments: int) -> 
         logits: 1-D tensor of per-edge scores.
         segments: 1-D int array, same length, segment id per score.
         num_segments: total number of segments.
+        sort: optional precomputed segment sort of ``segments`` (from
+            :func:`repro.nn.kernels.build_segment_sort`) reused for the
+            stabilising per-segment max.
     """
     source = Tensor._lift(logits)
     if source.ndim != 1:
         raise ShapeError(f"segment_softmax expects 1-D logits, got shape {source.shape}")
-    idx = np.asarray(segments, dtype=np.int64)
+    idx = (
+        segments
+        if type(segments) is np.ndarray and segments.dtype == _INT64
+        else np.asarray(segments, dtype=np.int64)
+    )
+
+    if len(idx) != source.shape[0]:
+        raise ShapeError(
+            f"segments must have length {source.shape[0]}, got {len(idx)}"
+        )
+    if len(idx) and (idx.min() < 0 or idx.max() >= num_segments):
+        raise AutogradError("scatter indices out of range")
 
     # Constant (non-differentiable) per-segment max for numerical stability.
-    seg_max = np.full(num_segments, -np.inf)
-    np.maximum.at(seg_max, idx, source.data)
+    if kernels.kernels_enabled():
+        seg_max = kernels.segment_max(source.data, idx, num_segments, sort=sort)
+    else:
+        kernels.count_legacy("maximum_at")
+        seg_max = np.full(num_segments, -np.inf)
+        np.maximum.at(seg_max, idx, source.data)
     seg_max[~np.isfinite(seg_max)] = 0.0  # empty segments
 
-    shifted = source - Tensor(seg_max[idx])
-    exp = shifted.exp()
-    denominator = scatter_add_rows(exp, idx, num_segments)
-    return exp / denominator.gather_rows(idx)
+    # Fused single-node softmax.  The arithmetic below — forward and
+    # backward — performs the exact floating-point operations, in the exact
+    # order, of the five-node composition it replaces
+    # (subtract-shift → exp → scatter-add denominator → gather → divide),
+    # so results and gradients are bit-identical while the graph carries
+    # one node instead of five.
+    exp = np.exp(source.data - seg_max[idx])
+    if kernels.kernels_enabled():
+        denominator = kernels.segment_sum(exp, idx, num_segments)
+    else:
+        kernels.count_legacy("add_at")
+        denominator = np.zeros(num_segments, dtype=np.float64)
+        np.add.at(denominator, idx, exp)
+    denom_gathered = denominator[idx]
+    alpha = exp / denom_gathered
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if not source.requires_grad:
+            return
+        # Division node: gradients to the numerator and the gathered
+        # denominator.
+        grad_exp = grad / denom_gathered
+        grad_denom_gathered = -grad * exp / (denom_gathered**2)
+        # Gather node: scatter the denominator gradient back per segment.
+        if kernels.kernels_enabled():
+            grad_denominator = kernels.segment_sum(
+                grad_denom_gathered, idx, num_segments
+            )
+        else:
+            kernels.count_legacy("add_at")
+            grad_denominator = np.zeros(num_segments, dtype=np.float64)
+            np.add.at(grad_denominator, idx, grad_denom_gathered)
+        # Scatter-add node: the denominator gradient flows back to every
+        # exponential, accumulated onto the division branch.
+        grad_exp += grad_denominator[idx]
+        # Exp node (the shift is a constant, its node passes through).
+        source._accumulate_owned(grad_exp * exp)
+
+    return source._make(alpha, (source,), backward_fn)
 
 
 def softmax(tensor: Tensor, axis: int = -1) -> Tensor:

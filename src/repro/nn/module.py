@@ -24,6 +24,11 @@ class Parameter(Tensor):
         super().__init__(data, requires_grad=True)
 
 
+#: Bumped on every Module attribute assignment; parameter-list caches are
+#: validated against it, so structural edits anywhere invalidate everywhere.
+_STRUCTURE_VERSION = 0
+
+
 class Module:
     """Base class for neural-network components."""
 
@@ -35,6 +40,15 @@ class Module:
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
+
+    def __setattr__(self, name, value) -> None:
+        # Any attribute assignment anywhere in a module tree may add or
+        # remove parameters, including on a nested child the parent cannot
+        # see — so bump a process-wide structure version that every cached
+        # parameter list is validated against (see parameters()).
+        global _STRUCTURE_VERSION
+        _STRUCTURE_VERSION += 1
+        object.__setattr__(self, name, value)
 
     # ------------------------------------------------------------------ #
     # Train / eval mode
@@ -65,6 +79,8 @@ class Module:
     def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
         """Yield ``(dotted_name, parameter)`` pairs, depth first."""
         for name, value in vars(self).items():
+            if name == "_parameter_cache":
+                continue
             path = f"{prefix}{name}"
             if isinstance(value, Parameter):
                 yield path, value
@@ -78,8 +94,18 @@ class Module:
                         yield from element.named_parameters(prefix=f"{path}.{index}.")
 
     def parameters(self) -> list[Parameter]:
-        """All trainable parameters of this module and its children."""
-        return [parameter for _, parameter in self.named_parameters()]
+        """All trainable parameters of this module and its children.
+
+        The list is cached (parameter discovery walks the attribute tree,
+        which showed up in per-example gradient profiles) and rebuilt
+        whenever any module's attributes change.
+        """
+        cache = self.__dict__.get("_parameter_cache")
+        if cache is not None and cache[0] == _STRUCTURE_VERSION:
+            return cache[1]
+        parameters = [parameter for _, parameter in self.named_parameters()]
+        object.__setattr__(self, "_parameter_cache", (_STRUCTURE_VERSION, parameters))
+        return parameters
 
     def num_parameters(self) -> int:
         """Total scalar parameter count."""
@@ -115,8 +141,32 @@ class Module:
             parameter.data = value.copy()
 
     # ------------------------------------------------------------------ #
-    # Gradient vector helpers (used by DP-SGD)
+    # Flat-vector helpers (used by DP-SGD and the gradient fan-out)
     # ------------------------------------------------------------------ #
+    def parameter_vector(self) -> np.ndarray:
+        """All parameter values flattened into one vector.
+
+        The layout matches :meth:`gradient_vector` (parameter-discovery
+        order), so a vector from one model instance loads into any other
+        instance built from the same configuration — this is how the
+        gradient fan-out ships weights to worker processes.
+        """
+        chunks = [parameter.data.reshape(-1) for parameter in self.parameters()]
+        return np.concatenate(chunks) if chunks else np.empty(0)
+
+    def load_parameter_vector(self, vector: np.ndarray) -> None:
+        """Load values saved by :meth:`parameter_vector` (strict size match)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        expected = sum(parameter.size for parameter in self.parameters())
+        if vector.shape != (expected,):
+            raise AutogradError(f"parameter vector must have shape ({expected},)")
+        offset = 0
+        for parameter in self.parameters():
+            parameter.data = (
+                vector[offset : offset + parameter.size].reshape(parameter.shape).copy()
+            )
+            offset += parameter.size
+
     def gradient_vector(self) -> np.ndarray:
         """All parameter gradients flattened into one vector (zeros if None)."""
         chunks = []

@@ -14,13 +14,29 @@ against numerical finite differences.
 from __future__ import annotations
 
 import contextlib
+import itertools
+import operator
 from typing import Callable, Iterable
 
 import numpy as np
 
 from repro.errors import AutogradError, ShapeError
+from repro.nn import kernels
 
 _GRAD_ENABLED = True
+
+_FLOAT64 = np.dtype(np.float64)
+_INT64 = np.dtype(np.int64)
+
+#: Monotone creation stamp: every parent tensor is created strictly before
+#: its children, so descending stamp order is a reverse topological order of
+#: any autograd graph — backward() sorts by it instead of running an
+#: interpreted postorder walk.
+_CREATION_COUNTER = itertools.count()
+
+_BY_STAMP = operator.attrgetter("_stamp")
+
+_SCALAR_ONE = np.ones(())
 
 
 @contextlib.contextmanager
@@ -37,6 +53,8 @@ def no_grad():
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
     # Sum away leading dimensions numpy added.
     while grad.ndim > len(shape):
         grad = grad.sum(axis=0)
@@ -50,7 +68,15 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A differentiable numpy array node in the autograd graph."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_parents",
+        "_backward_fn",
+        "_stamp",
+        "name",
+    )
 
     def __init__(
         self,
@@ -61,11 +87,18 @@ class Tensor:
         _backward_fn: Callable[[np.ndarray], None] | None = None,
         name: str | None = None,
     ) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        # Fast path for the overwhelmingly common case (autograd outputs
+        # are already float64 arrays); asarray showed up in gradient
+        # profiles at tens of thousands of calls per batch.
+        if type(data) is np.ndarray and data.dtype == _FLOAT64:
+            self.data = data
+        else:
+            self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad)
         self._parents = _parents
         self._backward_fn = _backward_fn
+        self._stamp = next(_CREATION_COUNTER)
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -118,14 +151,30 @@ class Tensor:
         parents: tuple["Tensor", ...],
         backward_fn: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        if not requires:
-            return Tensor(data)
-        return Tensor(data, requires_grad=True, _parents=parents, _backward_fn=backward_fn)
+        if _GRAD_ENABLED:
+            for parent in parents:
+                if parent.requires_grad:
+                    return Tensor(
+                        data,
+                        requires_grad=True,
+                        _parents=parents,
+                        _backward_fn=backward_fn,
+                    )
+        return Tensor(data)
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
             self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        # For backward functions whose gradient is a freshly allocated array
+        # (matmul products, elementwise products, fancy-index results): the
+        # defensive copy of _accumulate is unnecessary, the array can be
+        # adopted directly.
+        if self.grad is None:
+            self.grad = grad
         else:
             self.grad += grad
 
@@ -142,7 +191,8 @@ class Tensor:
                 raise AutogradError(
                     "backward() without an explicit gradient requires a scalar output"
                 )
-            grad = np.ones_like(self.data)
+            # _accumulate copies the seed, so a shared constant is safe.
+            grad = _SCALAR_ONE if self.data.shape == () else np.ones_like(self.data)
         else:
             grad = np.asarray(grad, dtype=np.float64)
             if grad.shape != self.data.shape:
@@ -150,24 +200,30 @@ class Tensor:
                     f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
                 )
 
-        ordered: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        # Collect the reachable subgraph with a plain DFS, then order it by
+        # descending creation stamp — parents are always created before
+        # children, so that is a reverse topological order.  Sorting in C
+        # replaces the interpreted postorder bookkeeping that dominated
+        # per-example gradient profiles.
+        ordered: list[Tensor] = [self]
+        visited: set[int] = {id(self)}
+        stack: list[Tensor] = [self]
+        visited_add = visited.add
+        stack_append = stack.append
+        ordered_append = ordered.append
         while stack:
-            node, processed = stack.pop()
-            if processed:
-                ordered.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
+            node = stack.pop()
             for parent in node._parents:
-                if parent.requires_grad and id(parent) not in visited:
-                    stack.append((parent, False))
+                if parent.requires_grad:
+                    key = id(parent)
+                    if key not in visited:
+                        visited_add(key)
+                        ordered_append(parent)
+                        stack_append(parent)
 
+        ordered.sort(key=_BY_STAMP, reverse=True)
         self._accumulate(grad)
-        for node in reversed(ordered):
+        for node in ordered:
             if node._backward_fn is not None and node.grad is not None:
                 node._backward_fn(node.grad)
 
@@ -195,15 +251,28 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(-grad)
+                self._accumulate_owned(-grad)
 
         return self._make(-self.data, (self,), backward_fn)
 
     def __sub__(self, other) -> "Tensor":
-        return self + (-self._lift(other))
+        # Direct difference node: IEEE-754 defines ``a - b`` as ``a + (-b)``
+        # and negating a sum equals summing negations, so this is
+        # bit-identical to composing __add__ with __neg__ — minus one graph
+        # node per subtraction.
+        other = self._lift(other)
+        out_data = self.data - other.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate_owned(_unbroadcast(-grad, other.shape))
+
+        return self._make(out_data, (self, other), backward_fn)
 
     def __rsub__(self, other) -> "Tensor":
-        return self._lift(other) + (-self)
+        return self._lift(other) - self
 
     def __mul__(self, other) -> "Tensor":
         other = self._lift(other)
@@ -211,9 +280,9 @@ class Tensor:
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+                self._accumulate_owned(_unbroadcast(grad * other.data, self.shape))
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+                other._accumulate_owned(_unbroadcast(grad * self.data, other.shape))
 
         return self._make(out_data, (self, other), backward_fn)
 
@@ -225,9 +294,9 @@ class Tensor:
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+                self._accumulate_owned(_unbroadcast(grad / other.data, self.shape))
             if other.requires_grad:
-                other._accumulate(
+                other._accumulate_owned(
                     _unbroadcast(-grad * self.data / (other.data**2), other.shape)
                 )
 
@@ -243,7 +312,7 @@ class Tensor:
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+                self._accumulate_owned(grad * exponent * self.data ** (exponent - 1))
 
         return self._make(out_data, (self,), backward_fn)
 
@@ -260,9 +329,9 @@ class Tensor:
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad @ other.data.T)
+                self._accumulate_owned(grad @ other.data.T)
             if other.requires_grad:
-                other._accumulate(self.data.T @ grad)
+                other._accumulate_owned(self.data.T @ grad)
 
         return self._make(out_data, (self, other), backward_fn)
 
@@ -296,7 +365,7 @@ class Tensor:
             expanded = grad
             if axis is not None and not keepdims:
                 expanded = np.expand_dims(grad, axis)
-            self._accumulate(np.broadcast_to(expanded, self.shape).copy())
+            self._accumulate_owned(np.broadcast_to(expanded, self.shape).copy())
 
         return self._make(out_data, (self,), backward_fn)
 
@@ -319,7 +388,7 @@ class Tensor:
             mask = (self.data == reference).astype(np.float64)
             # Split gradient across ties so the sum of subgradients is 1.
             tie_counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(np.broadcast_to(expanded, self.shape) * mask / tie_counts)
+            self._accumulate_owned(np.broadcast_to(expanded, self.shape) * mask / tie_counts)
 
         return self._make(out_data, (self,), backward_fn)
 
@@ -336,7 +405,7 @@ class Tensor:
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * sign)
+                self._accumulate_owned(grad * sign)
 
         return self._make(np.abs(self.data), (self,), backward_fn)
 
@@ -348,7 +417,7 @@ class Tensor:
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-300))
+                self._accumulate_owned(grad * 0.5 / np.maximum(out_data, 1e-300))
 
         return self._make(out_data, (self,), backward_fn)
 
@@ -357,7 +426,7 @@ class Tensor:
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data)
+                self._accumulate_owned(grad * out_data)
 
         return self._make(out_data, (self,), backward_fn)
 
@@ -366,7 +435,7 @@ class Tensor:
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad / self.data)
+                self._accumulate_owned(grad / self.data)
 
         return self._make(out_data, (self,), backward_fn)
 
@@ -375,7 +444,7 @@ class Tensor:
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                self._accumulate_owned(grad * mask)
 
         return self._make(self.data * mask, (self,), backward_fn)
 
@@ -384,7 +453,7 @@ class Tensor:
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * scale)
+                self._accumulate_owned(grad * scale)
 
         return self._make(self.data * scale, (self,), backward_fn)
 
@@ -393,7 +462,7 @@ class Tensor:
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data * (1.0 - out_data))
+                self._accumulate_owned(grad * out_data * (1.0 - out_data))
 
         return self._make(out_data, (self,), backward_fn)
 
@@ -402,7 +471,7 @@ class Tensor:
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * (1.0 - out_data**2))
+                self._accumulate_owned(grad * (1.0 - out_data**2))
 
         return self._make(out_data, (self,), backward_fn)
 
@@ -417,27 +486,48 @@ class Tensor:
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * inside)
+                self._accumulate_owned(grad * inside)
 
         return self._make(out_data, (self,), backward_fn)
 
     # ------------------------------------------------------------------ #
     # Indexing
     # ------------------------------------------------------------------ #
-    def gather_rows(self, indices: np.ndarray) -> "Tensor":
+    def gather_rows(
+        self, indices: np.ndarray, *, flat_index: np.ndarray | None = None
+    ) -> "Tensor":
         """Select rows ``self[indices]`` (indices may repeat).
 
-        Gradient scatters back with ``np.add.at`` so repeated rows
-        accumulate — the exact adjoint message-passing needs.
+        Gradient scatters back so repeated rows accumulate — the exact
+        adjoint message-passing needs.  The scatter runs through the fused
+        segment-sum kernel when enabled (bit-identical to ``np.add.at``).
+
+        Args:
+            indices: row indices, repeats allowed.
+            flat_index: optional precomputed
+                :func:`repro.nn.kernels.flat_scatter_index` of ``indices``
+                for this tensor's row width — the backward scatter then
+                skips rebuilding the combined index (compute plans cache
+                one per edge direction).
         """
-        idx = np.asarray(indices, dtype=np.int64)
+        idx = (
+            indices
+            if type(indices) is np.ndarray and indices.dtype == _INT64
+            else np.asarray(indices, dtype=np.int64)
+        )
         out_data = self.data[idx]
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, idx, grad)
-                self._accumulate(full)
+                if kernels.kernels_enabled():
+                    full = kernels.segment_sum(
+                        grad, idx, self.data.shape[0], flat_index=flat_index
+                    )
+                else:
+                    kernels.count_legacy("add_at")
+                    full = np.zeros_like(self.data)
+                    np.add.at(full, idx, grad)
+                self._accumulate_owned(full)
 
         return self._make(out_data, (self,), backward_fn)
 
@@ -448,8 +538,9 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     if not tensor_list:
         raise AutogradError("concat requires at least one tensor")
     out_data = np.concatenate([t.data for t in tensor_list], axis=axis)
-    sizes = [t.shape[axis] for t in tensor_list]
-    offsets = np.cumsum([0] + sizes)
+    offsets = [0]
+    for t in tensor_list:
+        offsets.append(offsets[-1] + t.data.shape[axis])
 
     def backward_fn(grad: np.ndarray) -> None:
         for tensor, start, stop in zip(tensor_list, offsets[:-1], offsets[1:]):

@@ -1,0 +1,222 @@
+"""Bit-identity tests for the parallel clipped-gradient fan-out.
+
+The engine's contract: ``grad_workers`` is purely an execution detail.
+For any worker count (and with kernels on or off) the summed clipped
+gradient, the noise draw, the accountant state, and the final weights are
+*byte-equal* to the serial run — so privacy accounting and checkpoint
+guarantees are untouched by parallelism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compute_plan import ComputePlan, ComputePlanCache
+from repro.core.grad_fanout import GradientFanout, subgraph_gradient
+from repro.core.loss import PenaltyLossConfig
+from repro.core.trainer import DPGNNTrainer, DPTrainingConfig
+from repro.errors import TrainingError
+from repro.gnn.models import build_gnn
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.nn.kernels import use_kernels
+from repro.sampling.dual_stage import DualStageSamplingConfig, extract_subgraphs_dual_stage
+
+
+@pytest.fixture(scope="module")
+def container():
+    graph = powerlaw_cluster_graph(150, 3, 0.3, rng=4)
+    config = DualStageSamplingConfig(
+        subgraph_size=10, threshold=4, sampling_rate=0.8, walk_length=300
+    )
+    return extract_subgraphs_dual_stage(graph, config, rng=4).container
+
+
+def make_model(kind="gcn"):
+    return build_gnn(kind, hidden_features=8, num_layers=2, rng=0)
+
+
+def train_outcome(container, *, grad_workers, sigma=1.0, clip_bound=1.0,
+                  iterations=4, model="gcn", rng=7):
+    gnn = make_model(model)
+    config = DPTrainingConfig(
+        iterations=iterations, batch_size=4, sigma=sigma,
+        clip_bound=clip_bound, max_occurrences=4, grad_workers=grad_workers,
+    )
+    trainer = DPGNNTrainer(gnn, container, config, rng=rng)
+    history = trainer.train()
+    weights = np.concatenate([p.data.reshape(-1) for p in gnn.parameters()])
+    epsilon = trainer.spent_epsilon(1e-4) if trainer.accountant else None
+    return weights.tobytes(), tuple(history.losses), epsilon
+
+
+class TestWorkerBitIdentity:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_private_run_matches_serial(self, container, workers):
+        serial = train_outcome(container, grad_workers=1)
+        fanned = train_outcome(container, grad_workers=workers)
+        assert fanned == serial
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_nonprivate_run_matches_serial(self, container, workers):
+        serial = train_outcome(
+            container, grad_workers=1, sigma=0.0, clip_bound=None
+        )
+        fanned = train_outcome(
+            container, grad_workers=workers, sigma=0.0, clip_bound=None
+        )
+        assert fanned == serial
+
+    def test_attention_model_matches_serial(self, container):
+        serial = train_outcome(container, grad_workers=1, model="grat")
+        fanned = train_outcome(container, grad_workers=2, model="grat")
+        assert fanned == serial
+
+    def test_kernels_off_matches_kernels_on(self, container):
+        fast = train_outcome(container, grad_workers=1)
+        with use_kernels(False):
+            legacy = train_outcome(container, grad_workers=1)
+        assert fast == legacy
+
+    def test_workers_zero_resolves_to_cpu_count(self, container):
+        serial = train_outcome(container, grad_workers=1, iterations=2)
+        auto = train_outcome(container, grad_workers=0, iterations=2)
+        assert auto == serial
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(TrainingError, match="grad_workers"):
+            DPTrainingConfig(grad_workers=-1).validate()
+
+
+class TestCheckpointAcrossWorkerCounts:
+    def test_fingerprint_excludes_grad_workers(self, container):
+        config = DPTrainingConfig(
+            iterations=4, batch_size=4, sigma=1.0, grad_workers=2
+        )
+        trainer = DPGNNTrainer(make_model(), container, config, rng=7)
+        fingerprint = trainer._fingerprint()
+        assert "grad_workers" not in fingerprint
+        trainer.close()
+
+    def test_resume_two_worker_checkpoint_under_one_worker(
+        self, container, tmp_path
+    ):
+        def outcome(trainer):
+            history = trainer.train()
+            weights = np.concatenate(
+                [p.data.reshape(-1) for p in trainer.model.parameters()]
+            )
+            return (
+                weights.tobytes(),
+                tuple(history.losses),
+                trainer.spent_epsilon(1e-4),
+            )
+
+        def config(workers, **overrides):
+            settings = dict(
+                iterations=6, batch_size=4, sigma=1.0, max_occurrences=4,
+                grad_workers=workers,
+            )
+            settings.update(overrides)
+            return DPTrainingConfig(**settings)
+
+        reference = DPGNNTrainer(make_model(), container, config(1), rng=7)
+        uninterrupted = outcome(reference)
+
+        # Run the first 3 iterations with 2 workers, checkpointing.
+        path = str(tmp_path / "xworkers")
+        partial = DPGNNTrainer(
+            make_model(),
+            container,
+            config(2, iterations=3, checkpoint_every=3, checkpoint_path=path),
+            rng=7,
+        )
+        partial.train()
+
+        # Resume to completion with 1 worker: byte-equal to uninterrupted.
+        resumed = DPGNNTrainer(
+            make_model(),
+            container,
+            config(1, checkpoint_every=3, checkpoint_path=path),
+            rng=991,  # proves restored RNG streams drive the run
+        )
+        resumed.load_checkpoint(path)
+        assert outcome(resumed) == uninterrupted
+
+
+class TestGradientFanoutEngine:
+    def test_pool_matches_serial_computation(self, container):
+        model = make_model()
+        plans = ComputePlanCache(container)
+        loss = PenaltyLossConfig()
+        indices = np.array([0, 3, 1, 1, 2], dtype=np.int64)
+
+        serial = GradientFanout(model, plans, loss, 1.0, workers=1)
+        results_a, _ = serial.compute(indices)
+        serial.close()
+
+        pooled = GradientFanout(model, plans, loss, 1.0, workers=2)
+        try:
+            results_b, stats = pooled.compute(indices)
+        finally:
+            pooled.close()
+
+        assert len(results_a) == len(results_b) == len(indices)
+        for (ga, la, na), (gb, lb, nb) in zip(results_a, results_b):
+            assert ga.tobytes() == gb.tobytes()
+            assert la == lb and na == nb
+        assert sum(stats.values()) > 0
+
+    def test_subgraph_gradient_clips(self, container):
+        model = make_model()
+        plan = ComputePlan(container[0].graph)
+        gradient, loss_value, raw = subgraph_gradient(
+            model, plan, PenaltyLossConfig(), 0.05
+        )
+        assert np.linalg.norm(gradient) <= 0.05 + 1e-12
+        assert raw >= np.linalg.norm(gradient) - 1e-12
+        assert np.isfinite(loss_value)
+
+    def test_trainer_legacy_gradient_helper_delegates(self, container):
+        config = DPTrainingConfig(
+            iterations=1, batch_size=2, sigma=0.0, clip_bound=0.05
+        )
+        trainer = DPGNNTrainer(make_model(), container, config, rng=0)
+        via_trainer, _, _ = trainer._subgraph_gradient(0, container[0])
+        direct, _, _ = subgraph_gradient(
+            trainer.model, trainer._plans.plan(0), config.loss, 0.05
+        )
+        assert via_trainer.tobytes() == direct.tobytes()
+
+
+class TestComputePlanCache:
+    def test_plan_memoizes_and_is_stable(self, container):
+        cache = ComputePlanCache(container)
+        plan = cache.plan(0)
+        assert cache.plan(0) is plan
+        assert plan.edge_index is plan.edge_index
+        features = plan.features(8)
+        assert plan.features(8) is features
+        sort = plan.segment_sort("target")
+        assert plan.segment_sort("target") is sort
+
+    def test_matches_by_container_identity(self, container):
+        cache = ComputePlanCache(container)
+        assert cache.matches(container)
+        graph = powerlaw_cluster_graph(60, 2, 0.2, rng=9)
+        other = extract_subgraphs_dual_stage(
+            graph,
+            DualStageSamplingConfig(
+                subgraph_size=8, threshold=3, sampling_rate=0.8, walk_length=100
+            ),
+            rng=9,
+        ).container
+        assert not cache.matches(other)
+
+    def test_out_of_range_plan_rejected(self, container):
+        cache = ComputePlanCache(container)
+        with pytest.raises(TrainingError):
+            cache.plan(len(container))
+
+    def test_prebuild_covers_all_plans(self, container):
+        cache = ComputePlanCache(container)
+        cache.prebuild(feature_dim=8)
+        assert len(cache) == len(container)

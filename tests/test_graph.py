@@ -269,3 +269,39 @@ class TestCSRView:
         bad_in = (in_csr[0], in_csr[1][:-1], in_csr[2][:-1])
         with pytest.raises(GraphError):
             Graph.from_csr(tiny_graph.num_nodes, out_csr, bad_in)
+
+
+class TestEdgeViewMemoization:
+    """edge_arrays()/edge_index() are built once and shared read-only."""
+
+    def test_edge_arrays_cached_and_immutable(self, tiny_graph):
+        first = tiny_graph.edge_arrays()
+        second = tiny_graph.edge_arrays()
+        assert all(a is b for a, b in zip(first, second))
+        for array in first:
+            assert not array.flags.writeable
+            with pytest.raises(ValueError):
+                array[0] = 99
+
+    def test_edge_index_cached_and_consistent(self, tiny_graph):
+        index = tiny_graph.edge_index()
+        assert tiny_graph.edge_index() is index
+        assert not index.flags.writeable
+        sources, targets, _ = tiny_graph.edge_arrays()
+        np.testing.assert_array_equal(index[0], sources)
+        np.testing.assert_array_equal(index[1], targets)
+
+    def test_from_csr_graph_also_caches(self, weighted_graph):
+        rebuilt = Graph.from_csr(
+            weighted_graph.num_nodes,
+            weighted_graph.out_csr(),
+            weighted_graph.in_csr(),
+        )
+        assert rebuilt.edge_index() is rebuilt.edge_index()
+
+    def test_has_unit_weights_flag(self, tiny_graph, weighted_graph):
+        assert tiny_graph.has_unit_weights
+        assert not weighted_graph.has_unit_weights
+        assert Graph(3, []).has_unit_weights
+        # Cached: repeated access returns the same answer without rescans.
+        assert tiny_graph.has_unit_weights

@@ -117,6 +117,54 @@ class TestSpread:
             estimate_spread(tiny_graph, [0], model="sir")
 
 
+class TestVectorizedCoverage:
+    """The CSR-vectorized coverage_spread against the original BFS loop."""
+
+    @staticmethod
+    def oracle(graph, seeds, steps):
+        """The pre-vectorization implementation, kept as the reference."""
+        covered = {int(seed) for seed in seeds}
+        frontier = list(covered)
+        for _ in range(steps):
+            next_frontier = []
+            for node in frontier:
+                for neighbor in graph.out_neighbors(node):
+                    neighbor = int(neighbor)
+                    if neighbor not in covered:
+                        covered.add(neighbor)
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return len(covered)
+
+    def test_matches_oracle_on_random_graphs(self):
+        from repro.graphs.generators import powerlaw_cluster_graph
+
+        rng = np.random.default_rng(17)
+        for _ in range(30):
+            num_nodes = int(rng.integers(4, 80))
+            attachment = int(rng.integers(1, min(4, num_nodes)))
+            graph = powerlaw_cluster_graph(
+                num_nodes, attachment, float(rng.random()),
+                rng=int(rng.integers(1_000_000)),
+            )
+            k = int(rng.integers(1, min(6, num_nodes) + 1))
+            seeds = [int(s) for s in rng.choice(num_nodes, size=k, replace=False)]
+            for steps in (0, 1, 3):
+                assert coverage_spread(graph, seeds, steps=steps) == self.oracle(
+                    graph, seeds, steps
+                )
+
+    def test_duplicate_free_seed_validation_still_applies(self, tiny_graph):
+        with pytest.raises(GraphError):
+            coverage_spread(tiny_graph, [0, 0])
+        with pytest.raises(GraphError):
+            coverage_spread(tiny_graph, [0], steps=-1)
+
+    def test_isolated_seed_and_empty_graph(self):
+        graph = Graph(6, [])
+        assert coverage_spread(graph, [2, 5], steps=4) == 2
+
+
 class TestCELF:
     def brute_force_best(self, graph, k):
         """Exhaustive search over all k-subsets (tiny graphs only)."""
