@@ -2,14 +2,23 @@
 
 Measures DP-SGD iterations/sec on the default training config (GRAT
 backbone at the paper's default width/depth, batch_size 8) across
-``grad_workers`` x {fused kernels, legacy ``np.add.at``} and writes a
-``BENCH_training.json`` summary, so the perf trajectory has a training
-datapoint next to the sampling benches.
+``grad_mode`` x ``grad_workers`` x {fused kernels, legacy ``np.add.at``}
+and writes a ``BENCH_training.json`` summary, so the perf trajectory has a
+training datapoint next to the sampling benches.
 
 Every same-binary configuration must produce a **byte-identical loss
 history** — the engine's core guarantee — and the script exits non-zero if
 any pair diverges, which is what the CI smoke job (``--tiny --workers 1 2``)
 asserts on every push.
+
+Two regression gates guard the recorded numbers (full mode):
+
+* ``vectorized`` mode must be >= 1.5x the serial ``loop`` path;
+* ``--grad-workers 4`` must be >= 1.3x single-worker throughput — enforced
+  only when the machine actually has >= 4 CPU cores, because persistent
+  workers cannot beat serial execution on a single core no matter how the
+  IPC is implemented.  The core count is recorded either way, so a reader
+  of BENCH_training.json can tell an ungated number from a passing one.
 
 The in-binary "kernels off" arm restores ``np.add.at`` scatters but still
 runs the rewritten autograd walk and compute-plan cache, so it *understates*
@@ -74,12 +83,14 @@ def build_container(tiny: bool):
     return extract_subgraphs_dual_stage(graph, config, bench_seed()).container
 
 
-def make_training_config(iterations: int, container, workers: int | None):
+def make_training_config(
+    iterations: int, container, workers: int | None, grad_mode: str | None = None
+):
     """Build the default training config, portable across source trees.
 
-    ``grad_workers`` only exists in the engine's config dataclass, so it is
-    passed conditionally — baseline subprocesses construct the same config
-    minus the field.
+    ``grad_workers`` and ``grad_mode`` only exist in the engine's config
+    dataclass, so they are passed conditionally — baseline subprocesses
+    construct the same config minus the fields.
     """
     kwargs = dict(
         iterations=iterations,
@@ -89,11 +100,20 @@ def make_training_config(iterations: int, container, workers: int | None):
     )
     if workers is not None:
         kwargs["grad_workers"] = workers
+    if grad_mode is not None:
+        kwargs["grad_mode"] = grad_mode
     return DPTrainingConfig(**kwargs)
 
 
 def run_configuration(
-    container, *, iterations, workers, kernels_on, model_kind, clock=time.perf_counter
+    container,
+    *,
+    iterations,
+    workers,
+    kernels_on,
+    model_kind,
+    grad_mode=None,
+    clock=time.perf_counter,
 ):
     """One timed training run; returns (iterations/sec, loss history).
 
@@ -104,11 +124,14 @@ def run_configuration(
     """
     with use_kernels(kernels_on):
         model = build_gnn(model_kind, rng=bench_seed())
-        config = make_training_config(iterations, container, workers)
+        config = make_training_config(iterations, container, workers, grad_mode)
         trainer = DPGNNTrainer(model, container, config, rng=bench_seed())
-        start = clock()
-        history = trainer.train()
-        elapsed = clock() - start
+        try:
+            start = clock()
+            history = trainer.train()
+            elapsed = clock() - start
+        finally:
+            trainer.close()
     return iterations / elapsed, tuple(history.losses)
 
 
@@ -223,20 +246,27 @@ def main(argv=None) -> int:
         f"batch=8 iterations={iterations} seed={bench_seed()}"
     )
 
+    cpu_count = os.cpu_count() or 1
     runs = []
-    # The kernels-off row restores the np.add.at scatters (the rest of the
-    # engine stays on); the remaining rows sweep worker counts.
-    grid = [(1, False)] + [(workers, True) for workers in args.workers]
-    for workers, kernels_on in grid:
+    # Grid: the kernels-off row restores the np.add.at scatters (the rest
+    # of the engine stays on); the loop row is the serial bit-identity
+    # oracle; the vectorized rows sweep worker counts over the
+    # block-diagonal batch path.
+    grid = [(1, False, "loop"), (1, True, "loop")] + [
+        (workers, True, "vectorized") for workers in args.workers
+    ]
+    for workers, kernels_on, grad_mode in grid:
         rate, losses = run_configuration(
             container,
             iterations=iterations,
             workers=workers,
             kernels_on=kernels_on,
             model_kind=args.model,
+            grad_mode=grad_mode,
         )
         runs.append(
             {
+                "grad_mode": grad_mode,
                 "grad_workers": workers,
                 "kernels": kernels_on,
                 "iterations_per_sec": round(rate, 3),
@@ -244,8 +274,8 @@ def main(argv=None) -> int:
             }
         )
         print(
-            f"  workers={workers} kernels={'on ' if kernels_on else 'off'} "
-            f"-> {rate:7.3f} it/s"
+            f"  mode={grad_mode:10s} workers={workers} "
+            f"kernels={'on ' if kernels_on else 'off'} -> {rate:7.3f} it/s"
         )
 
     reference = runs[0]["losses"]
@@ -253,16 +283,73 @@ def main(argv=None) -> int:
     if mismatched:
         for run in mismatched:
             print(
-                f"LOSS-HISTORY MISMATCH: workers={run['grad_workers']} "
-                f"kernels={run['kernels']}",
+                f"LOSS-HISTORY MISMATCH: mode={run['grad_mode']} "
+                f"workers={run['grad_workers']} kernels={run['kernels']}",
                 file=sys.stderr,
             )
         return 1
     print("loss histories: byte-identical across all configurations")
 
+    def rate_of(grad_mode, workers, kernels_on=True):
+        for run in runs:
+            if (
+                run["grad_mode"] == grad_mode
+                and run["grad_workers"] == workers
+                and run["kernels"] == kernels_on
+            ):
+                return run["iterations_per_sec"]
+        return None
+
     baseline = runs[0]["iterations_per_sec"]
     best = max(run["iterations_per_sec"] for run in runs[1:])
     print(f"speedup vs in-binary legacy scatters: {best / baseline:.2f}x")
+
+    # ------------------------------------------------------------------ #
+    # Regression gates (enforced in full mode; tiny runs are too noisy
+    # and too short for a meaningful throughput ratio).
+    # ------------------------------------------------------------------ #
+    gates = {"cpu_count": cpu_count}
+    failures = []
+
+    loop_rate = rate_of("loop", 1)
+    vec_rate = rate_of("vectorized", 1)
+    if loop_rate and vec_rate:
+        ratio = vec_rate / loop_rate
+        enforced = not args.tiny
+        gate = {
+            "threshold": 1.5,
+            "ratio": round(ratio, 3),
+            "enforced": enforced,
+            "passed": ratio >= 1.5,
+        }
+        gates["vectorized_vs_loop"] = gate
+        print(f"gate vectorized/loop: {ratio:.2f}x (threshold 1.5x)")
+        if enforced and not gate["passed"]:
+            failures.append(f"vectorized mode is only {ratio:.2f}x the loop path (< 1.5x)")
+
+    single_rate = rate_of("vectorized", 1)
+    quad_rate = rate_of("vectorized", 4)
+    if single_rate and quad_rate:
+        ratio = quad_rate / single_rate
+        # Persistent workers cannot beat one worker without spare cores —
+        # on a single-core machine the honest number is < 1x and gating it
+        # would just pin CI to the benchmark host's shape.
+        enforced = not args.tiny and cpu_count >= 4
+        gate = {
+            "threshold": 1.3,
+            "ratio": round(ratio, 3),
+            "enforced": enforced,
+            "passed": ratio >= 1.3,
+        }
+        if not enforced and cpu_count < 4:
+            gate["skip_reason"] = f"requires >= 4 CPU cores, machine has {cpu_count}"
+        gates["workers4_vs_1"] = gate
+        print(
+            f"gate workers 4/1: {ratio:.2f}x (threshold 1.3x, "
+            f"{'enforced' if enforced else 'not enforced'}, {cpu_count} cores)"
+        )
+        if enforced and not gate["passed"]:
+            failures.append(f"--grad-workers 4 is only {ratio:.2f}x single-worker (< 1.3x)")
 
     summary = {
         "benchmark": "training_throughput",
@@ -272,6 +359,7 @@ def main(argv=None) -> int:
         "iterations": iterations,
         "num_subgraphs": len(container),
         "seed": bench_seed(),
+        "cpu_count": cpu_count,
         "timing": "time.perf_counter (wall clock; worker arms use subprocesses)",
         "configurations": [
             {key: value for key, value in run.items() if key != "losses"}
@@ -279,6 +367,7 @@ def main(argv=None) -> int:
         ],
         "speedup_vs_legacy_scatters": round(best / baseline, 3),
         "loss_histories_identical": True,
+        "regression_gates": gates,
     }
 
     if args.baseline_src:
@@ -298,6 +387,11 @@ def main(argv=None) -> int:
         json.dump(summary, handle, indent=2)
         handle.write("\n")
     print(f"wrote {output}")
+
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION GATE FAILED: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 

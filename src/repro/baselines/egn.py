@@ -42,6 +42,8 @@ class EGNConfig:
             DP-SGD settings shared with Algorithm 2.
         grad_workers: gradient fan-out processes (1 = serial, 0 = one per
             CPU); bit-identical results for any value.
+        grad_mode: gradient execution strategy (``"vectorized"`` or
+            ``"loop"``); byte-identical results either way.
         rng: master seed.
     """
 
@@ -58,6 +60,7 @@ class EGNConfig:
     clip_bound: float = 1.0
     penalty: float = 0.5
     grad_workers: int = 1
+    grad_mode: str = "vectorized"
     rng: int | np.random.Generator | None = field(default=None, repr=False)
 
 
@@ -141,6 +144,7 @@ class EGNPipeline:
             max_occurrences=max_occurrences,
             loss=PenaltyLossConfig(penalty=config.penalty),
             grad_workers=config.grad_workers,
+            grad_mode=config.grad_mode,
         )
         trainer = DPGNNTrainer(
             self.model, container, training_config, self._training_rng, obs=obs

@@ -73,6 +73,8 @@ class HPConfig:
             DP-SGD settings.
         grad_workers: gradient fan-out processes (1 = serial, 0 = one per
             CPU); bit-identical results for any value.
+        grad_mode: gradient execution strategy (``"vectorized"`` or
+            ``"loop"``); byte-identical results either way.
         rng: master seed.
     """
 
@@ -91,6 +93,7 @@ class HPConfig:
     clip_bound: float = 1.0
     penalty: float = 0.5
     grad_workers: int = 1
+    grad_mode: str = "vectorized"
     rng: int | np.random.Generator | None = field(default=None, repr=False)
 
 
@@ -192,6 +195,7 @@ class HPPipeline:
             max_occurrences=max_occurrences,
             loss=PenaltyLossConfig(penalty=config.penalty),
             grad_workers=config.grad_workers,
+            grad_mode=config.grad_mode,
         )
         trainer = DPGNNTrainer(
             self.model,

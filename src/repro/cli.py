@@ -59,6 +59,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="gradient fan-out processes per training iteration "
                             "(1=serial, 0=one per CPU); results are "
                             "bit-identical for any value")
+    train.add_argument("--grad-mode", choices=["loop", "vectorized"],
+                       default="vectorized",
+                       help="per-batch gradient strategy: one disjoint-union "
+                            "pass (vectorized) or one pass per subgraph "
+                            "(loop); results are bit-identical either way")
     train.add_argument("--save", help="model-only checkpoint path (.npz)")
     train.add_argument("--checkpoint",
                        help="crash-safe training-state checkpoint path; resume "
@@ -125,6 +130,8 @@ def _build_parser() -> argparse.ArgumentParser:
     publish.add_argument("--seed", type=int, default=0)
     publish.add_argument("--workers", type=int, default=1)
     publish.add_argument("--grad-workers", type=int, default=1)
+    publish.add_argument("--grad-mode", choices=["loop", "vectorized"],
+                         default="vectorized")
 
     serve = commands.add_parser(
         "serve", help="serve influence queries from a published model"
@@ -187,6 +194,7 @@ def _command_train(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         workers=args.workers,
         grad_workers=args.grad_workers,
+        grad_mode=args.grad_mode,
         checkpoint_every=checkpoint_every if args.checkpoint else None,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
@@ -319,6 +327,7 @@ def _build_pipeline(args: argparse.Namespace):
         iterations=args.iterations,
         workers=args.workers,
         grad_workers=args.grad_workers,
+        grad_mode=args.grad_mode,
         rng=args.seed,
     )
     if args.method == "privim":

@@ -33,7 +33,7 @@ from repro.graphs.graph import Graph
 from repro.nn import kernels
 from repro.sampling.container import SubgraphContainer
 
-__all__ = ["ComputePlan", "ComputePlanCache"]
+__all__ = ["BatchedComputePlan", "ComputePlan", "ComputePlanCache"]
 
 T = TypeVar("T")
 
@@ -84,6 +84,81 @@ class ComputePlan:
         return self.memo(
             ("segment_sort", which),
             lambda: kernels.build_segment_sort(self.edge_index[row]),
+        )
+
+
+class _UnionGraph:
+    """Minimal graph facade for a disjoint union of subgraphs.
+
+    A :class:`BatchedComputePlan` never rebuilds a :class:`Graph` for the
+    union — the member plans already hold every edge array — but layers
+    consult ``plan.graph`` for two things: the node count and the
+    unit-weight fast path (see ``unit_edge_weights``).  Both are cheap
+    aggregates of the members.
+    """
+
+    __slots__ = ("num_nodes", "num_edges", "has_unit_weights")
+
+    def __init__(self, num_nodes: int, num_edges: int, has_unit_weights: bool) -> None:
+        self.num_nodes = int(num_nodes)
+        self.num_edges = int(num_edges)
+        self.has_unit_weights = bool(has_unit_weights)
+
+
+class BatchedComputePlan(ComputePlan):
+    """Disjoint-union plan over a batch of per-subgraph plans.
+
+    Concatenates the member edge sets with node indices offset by the
+    running node count, producing one block-diagonal graph whose forward
+    pass computes every member's activations in a single pass.  Member
+    boundaries are exposed as ``node_bounds``/``edge_bounds`` (cumulative
+    offsets, length ``B + 1``) for the per-example capture and per-example
+    losses.
+
+    Features are the *concatenation of the members' own feature matrices*,
+    never ``degree_features`` of the union: degree features are
+    max-normalised per graph and their random channels are seeded by graph
+    size, so recomputing them on the union would change values and break
+    bit-identity with the serial loop.
+    """
+
+    __slots__ = ("plans", "node_bounds", "edge_bounds")
+
+    def __init__(self, plans: list[ComputePlan]) -> None:
+        if not plans:
+            raise TrainingError("BatchedComputePlan needs at least one plan")
+        self.plans = list(plans)
+        self.node_bounds = kernels.segment_bounds(
+            plan.num_nodes for plan in self.plans
+        )
+        self.edge_bounds = kernels.segment_bounds(
+            plan.edge_index.shape[1] for plan in self.plans
+        )
+        self.num_nodes = int(self.node_bounds[-1])
+        self.edge_index = np.concatenate(
+            [
+                plan.edge_index + offset
+                for plan, offset in zip(self.plans, self.node_bounds[:-1])
+            ],
+            axis=1,
+        )
+        self.edge_weight = np.concatenate(
+            [plan.edge_weight for plan in self.plans]
+        )
+        self.graph = _UnionGraph(
+            self.num_nodes,
+            self.edge_index.shape[1],
+            all(plan.graph.has_unit_weights for plan in self.plans),
+        )
+        self._memo = {}
+
+    def features(self, dim: int) -> np.ndarray:
+        """Concatenated member features (cached per dim)."""
+        return self.memo(
+            ("features", int(dim)),
+            lambda: np.concatenate(
+                [plan.features(dim) for plan in self.plans], axis=0
+            ),
         )
 
 

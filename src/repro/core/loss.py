@@ -117,6 +117,68 @@ def probabilistic_penalty_loss(
     return loss
 
 
+def per_example_losses(
+    seed_probabilities: Tensor,
+    plan,
+    config: PenaltyLossConfig | None = None,
+) -> list[Tensor]:
+    """Eq. 5 per member subgraph of a batched (disjoint-union) plan.
+
+    Runs the diffusion chain once over the union — every aggregate and φ
+    is row-local on a block-diagonal graph, so each row carries exactly
+    the bits the serial loop would compute for its subgraph — then reduces
+    each member's loss from its contiguous row segment.  The segment sums
+    use ``row_slice(...).sum()`` (numpy's pairwise summation over a
+    contiguous view, bit-identical to summing the standalone array), NOT
+    ``segment_sum``, whose bincount accumulation order differs.
+
+    Args:
+        seed_probabilities: ``(N_total,)`` seed probabilities on the union.
+        plan: a :class:`~repro.core.compute_plan.BatchedComputePlan`
+            (provides ``edge_index``/``edge_weight``/``node_bounds``).
+        config: loss hyperparameters (shared by every member).
+
+    Returns:
+        One scalar loss tensor per member, in plan order.
+    """
+    config = config or PenaltyLossConfig()
+    config.validate()
+    num_nodes = plan.num_nodes
+    if seed_probabilities.ndim != 1 or seed_probabilities.shape[0] != num_nodes:
+        raise TrainingError(
+            f"seed_probabilities must have shape ({num_nodes},), "
+            f"got {seed_probabilities.shape}"
+        )
+
+    column = seed_probabilities.reshape(-1, 1)
+    survival: Tensor | None = None
+    current = column
+    for _ in range(config.diffusion_steps):
+        aggregated = aggregate_neighbors(
+            current,
+            plan.edge_index,
+            num_nodes,
+            edge_weight=plan.edge_weight,
+            plan=plan,
+        )
+        step_probability = _apply_phi(aggregated, config.phi)
+        factor = 1.0 - step_probability
+        survival = factor if survival is None else survival * factor
+        current = step_probability
+
+    bounds = plan.node_bounds
+    losses: list[Tensor] = []
+    for example in range(len(bounds) - 1):
+        start, stop = int(bounds[example]), int(bounds[example + 1])
+        uncovered = survival.row_slice(start, stop).sum()
+        seed_mass = seed_probabilities.row_slice(start, stop).sum()
+        loss = uncovered + config.penalty * seed_mass
+        if config.normalize:
+            loss = loss * (1.0 / (stop - start))
+        losses.append(loss)
+    return losses
+
+
 class MaxCoverLoss:
     """Maximum-coverage adaptation (paper's Section VI remark).
 

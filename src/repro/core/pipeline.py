@@ -72,6 +72,9 @@ class PrivIMConfig:
             per CPU).  Same guarantee as ``workers``: bit-identical
             weights, losses, and ε for any value — see
             :mod:`repro.core.grad_fanout`.
+        grad_mode: gradient execution strategy — ``"vectorized"`` (one
+            disjoint-union pass per batch, the default) or ``"loop"`` (one
+            pass per subgraph); byte-identical results either way.
         checkpoint_every: write a crash-safe training checkpoint every this
             many iterations (``None`` disables checkpointing).
         checkpoint_path: training-checkpoint file (``.npz`` appended when
@@ -105,6 +108,7 @@ class PrivIMConfig:
     phi: str = "clamp"
     workers: int = 1
     grad_workers: int = 1
+    grad_mode: str = "vectorized"
     checkpoint_every: int | None = None
     checkpoint_path: str | None = None
     resume: bool = False
@@ -341,6 +345,7 @@ class _BasePipeline:
             checkpoint_every=config.checkpoint_every,
             checkpoint_path=config.checkpoint_path,
             grad_workers=config.grad_workers,
+            grad_mode=config.grad_mode,
         )
         trainer = DPGNNTrainer(
             self.model, container, training_config, self._training_rng, obs=obs

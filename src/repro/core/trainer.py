@@ -20,7 +20,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.compute_plan import ComputePlanCache
-from repro.core.grad_fanout import GradientFanout, resolve_workers, subgraph_gradient
+from repro.core.grad_fanout import (
+    GRAD_MODES,
+    GradientFanout,
+    resolve_workers,
+    subgraph_gradient,
+)
 from repro.core.loss import PenaltyLossConfig
 from repro.obs import Observability, ensure_obs
 from repro.dp.accountant import PrivacyAccountant
@@ -61,6 +66,13 @@ class DPTrainingConfig:
             (1 = in-process serial, 0 = one per CPU).  Purely an execution
             detail: results are bit-identical for every value, so it is
             deliberately absent from the checkpoint privacy fingerprint.
+        grad_mode: per-batch gradient execution strategy —
+            ``"vectorized"`` (default) runs one forward/backward over the
+            disjoint union of the batch's subgraphs with per-example
+            segment capture; ``"loop"`` runs one pass per subgraph (the
+            differential-testing oracle).  Like ``grad_workers`` this is
+            an execution detail with byte-identical results, excluded from
+            the checkpoint privacy fingerprint.
     """
 
     iterations: int = 30
@@ -73,6 +85,7 @@ class DPTrainingConfig:
     checkpoint_every: int | None = None
     checkpoint_path: str | None = None
     grad_workers: int = 1
+    grad_mode: str = "vectorized"
 
     def validate(self) -> None:
         """Raise :class:`TrainingError` on invalid settings."""
@@ -92,6 +105,10 @@ class DPTrainingConfig:
             raise TrainingError(f"max_occurrences must be >= 1, got {self.max_occurrences}")
         if self.grad_workers < 0:
             raise TrainingError(f"grad_workers must be >= 0, got {self.grad_workers}")
+        if self.grad_mode not in GRAD_MODES:
+            raise TrainingError(
+                f"grad_mode must be one of {GRAD_MODES}, got {self.grad_mode!r}"
+            )
         if self.checkpoint_every is not None:
             if self.checkpoint_every < 1:
                 raise TrainingError(
@@ -211,6 +228,8 @@ class DPGNNTrainer:
                 self.config.loss,
                 self.config.clip_bound,
                 workers,
+                grad_mode=self.config.grad_mode,
+                max_batch=self.config.batch_size,
             )
         return self._fanout
 
@@ -333,10 +352,11 @@ class DPGNNTrainer:
         step meant, so :meth:`load_state_dict` rejects any mismatch.
         ``iterations`` is deliberately excluded — extending ``T`` is how a
         finished run is legitimately continued (with ε re-accounted).
-        ``grad_workers`` (and the kernel toggle) are likewise excluded on
-        purpose: they are execution details with bit-identical results, so
-        a checkpoint written by a 2-worker run must resume under 1 worker
-        (or any other count) without re-accounting anything.
+        ``grad_workers``, ``grad_mode``, and the kernel toggle are likewise
+        excluded on purpose: they are execution details with bit-identical
+        results, so a checkpoint written by a 2-worker vectorized run must
+        resume under 1 worker in loop mode (or any other combination)
+        without re-accounting anything.
         """
         config = self.config
         return {

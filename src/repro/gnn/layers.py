@@ -263,7 +263,10 @@ class _AttentionConv(Module):
             head_sources = source_feats @ selector
             head_targets = target_feats @ selector
             pair = concat([head_sources, head_targets], axis=1)
-            logits = F.leaky_relu(pair @ attention, self.negative_slope).reshape(-1)
+            # Same fused node as the single-head path (bit-identical to the
+            # composed matmul/leaky/reshape); it is also where per-example
+            # capture intercepts the attention-vector reduction.
+            logits = F.edge_attention_logits(pair, attention, self.negative_slope)
             alpha = F.segment_softmax(logits, segments, num_nodes, sort=sort)
             messages = head_sources * alpha.reshape(-1, 1)
             if weight_column is not None:
@@ -354,5 +357,9 @@ class GINConv(Module):
         aggregated = aggregate_neighbors(
             x, edge_index, num_nodes, edge_weight=edge_weight, plan=plan
         )
-        combined = aggregated + x * (1.0 + self.epsilon)
+        # Fused ``x * (1 + ω)`` node: bit-identical to the composed
+        # add/multiply, and the capture-aware site for ω's per-example
+        # gradient (``unbroadcast(grad * x)``), which generic interception
+        # cannot attribute through the intermediate ``1 + ω`` tensor.
+        combined = aggregated + F.scale_rows_one_plus(x, self.epsilon)
         return self.mlp_out(self.mlp_in(combined).relu())

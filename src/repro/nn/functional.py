@@ -12,8 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import AutogradError, ShapeError
-from repro.nn import kernels
-from repro.nn.tensor import Tensor, concat
+from repro.nn import kernels, per_example
+from repro.nn.tensor import Tensor, _unbroadcast, concat
 
 _INT64 = np.dtype(np.int64)
 
@@ -22,6 +22,7 @@ __all__ = [
     "concat_gather_rows",
     "edge_attention_logits",
     "gather_rows",
+    "scale_rows_one_plus",
     "scatter_add_rows",
     "scatter_weighted_rows",
     "segment_softmax",
@@ -149,7 +150,15 @@ def edge_attention_logits(
     """
     p = Tensor._lift(pair)
     a = Tensor._lift(attention)
-    scores = p.data @ a.data
+    # The scores product is a GEMV (single-column ``a``), which BLAS does
+    # not compute row-stably on tall matrices; under per-example capture
+    # the union replays the loop's per-subgraph products segment by
+    # segment (see kernels.segment_matmul).
+    capture = per_example.active_capture()
+    if capture is not None and p.data.shape[0] == int(capture.edge_bounds[-1]):
+        scores = kernels.segment_matmul(p.data, a.data, capture.edge_bounds)
+    else:
+        scores = p.data @ a.data
     scale = np.where(scores > 0, 1.0, negative_slope)
     out_data = (scores * scale).reshape(-1)
 
@@ -158,9 +167,46 @@ def edge_attention_logits(
         if p.requires_grad:
             p._accumulate_owned(g_scores @ a.data.T)
         if a.requires_grad:
-            a._accumulate_owned(p.data.T @ g_scores)
+            # The attention vector is the one edge-rowed parameter
+            # reduction in the model zoo; under per-example capture it is
+            # computed per edge segment of the batched (disjoint-union)
+            # plan instead of over the whole pair matrix.
+            capture = per_example.active_capture()
+            if capture is not None and a._is_parameter:
+                capture.matmul_edges(a, p.data, g_scores)
+            else:
+                a._accumulate_owned(p.data.T @ g_scores)
 
     return p._make(out_data, (p, a), backward_fn)
+
+
+def scale_rows_one_plus(x: Tensor, epsilon: Tensor) -> Tensor:
+    """Fused ``x * (1.0 + epsilon)`` — GIN's ``(1 + ω)·h_v`` self term.
+
+    Forward and backward replay the composed two-node chain's
+    floating-point operations in order, so results and gradients are
+    bit-identical.  The op exists so the per-example capture can attribute
+    the reduction to ``epsilon`` directly: composed, the parameter sits
+    behind an intermediate ``1 + ω`` tensor that generic interception
+    cannot see through.
+    """
+    source = Tensor._lift(x)
+    eps = Tensor._lift(epsilon)
+    factor = eps.data + np.asarray(1.0, dtype=np.float64)
+    out_data = source.data * factor
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if source.requires_grad:
+            source._accumulate_owned(_unbroadcast(grad * factor, source.shape))
+        if eps.requires_grad:
+            g_eps = grad * source.data
+            capture = per_example.active_capture()
+            if capture is not None and eps._is_parameter:
+                capture.reduce_nodes(eps, g_eps)
+            else:
+                eps._accumulate(_unbroadcast(g_eps, eps.shape))
+
+    return source._make(out_data, (source, eps), backward_fn)
 
 
 def scatter_weighted_rows(

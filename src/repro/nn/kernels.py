@@ -49,6 +49,9 @@ __all__ = [
     "segment_sum",
     "segment_mean",
     "segment_max",
+    "segment_bounds",
+    "segment_matmul",
+    "segment_matmul_t",
 ]
 
 #: 2-D widths up to this use the per-column bincount path; wider feature
@@ -206,6 +209,70 @@ def segment_sum(
         flat_index, weights=flat.ravel(), minlength=num_segments * width
     )
     return summed.reshape(out_shape)
+
+
+def segment_bounds(sizes) -> np.ndarray:
+    """Offsets ``[0, s_0, s_0+s_1, ...]`` for contiguous segment slicing.
+
+    The bounds array of a disjoint-union batch: segment ``k`` occupies rows
+    ``bounds[k]:bounds[k+1]`` of every concatenated per-row array.
+    """
+    array = np.asarray(list(sizes), dtype=np.int64)
+    bounds = np.zeros(array.size + 1, dtype=np.int64)
+    np.cumsum(array, out=bounds[1:])
+    return bounds
+
+
+def segment_matmul_t(
+    x: np.ndarray,
+    grad: np.ndarray,
+    bounds: np.ndarray,
+    out: np.ndarray,
+    *,
+    accumulate: bool = False,
+) -> np.ndarray:
+    """Per-segment ``x[s:e].T @ grad[s:e]`` into ``out`` of shape ``(K, ...)``.
+
+    The parameter-gradient reduction of the vectorized batch path: each
+    contiguous row segment's product is one BLAS call on contiguous
+    operands with the same shapes and strides as the serial loop's
+    whole-subgraph ``x_k.T @ g_k``, so every block is bit-identical to the
+    reference, not merely close.  Empty segments produce exact-zero blocks
+    (``(F, 0) @ (0, W)``).
+
+    ``accumulate=False`` assigns each block (the first gradient
+    contribution *adopts* the product, preserving signed zeros exactly like
+    ``Tensor._accumulate_owned``); ``accumulate=True`` adds, matching the
+    ``grad += ...`` of later contributions.
+    """
+    _count("segment_matmul_t")
+    for segment in range(len(bounds) - 1):
+        start, stop = int(bounds[segment]), int(bounds[segment + 1])
+        block = x[start:stop].T @ grad[start:stop]
+        if accumulate:
+            out[segment] += block
+        else:
+            out[segment] = block
+    return out
+
+
+def segment_matmul(x: np.ndarray, weight: np.ndarray, bounds: np.ndarray) -> np.ndarray:
+    """``x @ weight`` computed one contiguous row segment at a time.
+
+    Needed for bit-identity of the vectorized batch path's *forward*:
+    BLAS's matrix-vector product (``weight`` with one column) is not
+    row-stable — the tail rows of a tall matrix go through remainder code
+    whose k-accumulation order differs from a short matrix's — so the
+    disjoint union must issue exactly the per-subgraph products the serial
+    loop issues.  Each segment's product is one BLAS call on a contiguous
+    row block with the same shapes as the standalone subgraph call.
+    """
+    _count("segment_matmul")
+    out = np.empty((x.shape[0], weight.shape[1]), dtype=np.float64)
+    for segment in range(len(bounds) - 1):
+        start, stop = int(bounds[segment]), int(bounds[segment + 1])
+        out[start:stop] = x[start:stop] @ weight
+    return out
 
 
 def segment_mean(

@@ -20,6 +20,11 @@ from repro.nn.tensor import Tensor
 class Parameter(Tensor):
     """A tensor registered as trainable model state."""
 
+    #: Marks parameters for the per-example gradient capture, which
+    #: intercepts parameter-gradient reductions at segment granularity
+    #: (see :mod:`repro.nn.per_example`).
+    _is_parameter = True
+
     def __init__(self, data) -> None:
         super().__init__(data, requires_grad=True)
 

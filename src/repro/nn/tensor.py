@@ -21,7 +21,7 @@ from typing import Callable, Iterable
 import numpy as np
 
 from repro.errors import AutogradError, ShapeError
-from repro.nn import kernels
+from repro.nn import kernels, per_example
 
 _GRAD_ENABLED = True
 
@@ -67,6 +67,13 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 
 class Tensor:
     """A differentiable numpy array node in the autograd graph."""
+
+    #: Class flag identifying trainable model state; overridden to True by
+    #: :class:`repro.nn.module.Parameter`.  The per-example capture keys its
+    #: gradient interception on it, and the accumulate guard uses it to
+    #: reject parameter gradients that bypass interception while a capture
+    #: is active.
+    _is_parameter = False
 
     __slots__ = (
         "data",
@@ -163,6 +170,8 @@ class Tensor:
         return Tensor(data)
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        if self._is_parameter and per_example._ACTIVE is not None:
+            per_example.reject_uncaptured(self)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -173,6 +182,8 @@ class Tensor:
         # (matmul products, elementwise products, fancy-index results): the
         # defensive copy of _accumulate is unnecessary, the array can be
         # adopted directly.
+        if self._is_parameter and per_example._ACTIVE is not None:
+            per_example.reject_uncaptured(self)
         if self.grad is None:
             self.grad = grad
         else:
@@ -239,10 +250,22 @@ class Tensor:
         out_data = self.data + other.data
 
         def backward_fn(grad: np.ndarray) -> None:
+            # Under an active per-example capture, a Parameter operand's
+            # broadcast reduction is computed per node segment instead of
+            # over the whole (batched) gradient — bit-identical per
+            # segment, since _unbroadcast over a contiguous row slice
+            # performs the serial loop's exact reduction.
+            capture = per_example._ACTIVE
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
+                if capture is not None and self._is_parameter:
+                    capture.reduce_nodes(self, grad)
+                else:
+                    self._accumulate(_unbroadcast(grad, self.shape))
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad, other.shape))
+                if capture is not None and other._is_parameter:
+                    capture.reduce_nodes(other, grad)
+                else:
+                    other._accumulate(_unbroadcast(grad, other.shape))
 
         return self._make(out_data, (self, other), backward_fn)
 
@@ -264,10 +287,17 @@ class Tensor:
         out_data = self.data - other.data
 
         def backward_fn(grad: np.ndarray) -> None:
+            capture = per_example._ACTIVE
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
+                if capture is not None and self._is_parameter:
+                    capture.reduce_nodes(self, grad)
+                else:
+                    self._accumulate(_unbroadcast(grad, self.shape))
             if other.requires_grad:
-                other._accumulate_owned(_unbroadcast(-grad, other.shape))
+                if capture is not None and other._is_parameter:
+                    capture.reduce_nodes(other, -grad)
+                else:
+                    other._accumulate_owned(_unbroadcast(-grad, other.shape))
 
         return self._make(out_data, (self, other), backward_fn)
 
@@ -325,13 +355,48 @@ class Tensor:
             raise ShapeError(
                 f"matmul requires 2-D operands, got {self.shape} @ {other.shape}"
             )
-        out_data = self.data @ other.data
+        # BLAS products are not row-stable in general: GEMV tail rows, any
+        # single-row slice, and every product with a transposed right
+        # operand accumulate over k in an order that depends on the total
+        # row count.  Under per-example capture the disjoint union must
+        # replay the serial loop's per-subgraph products to stay
+        # bit-identical, so every node-rowed matmul — forward and the
+        # left-operand backward — is computed one segment at a time (see
+        # kernels.segment_matmul).
+        capture = per_example._ACTIVE
+        if capture is not None and self.data.shape[0] == int(
+            capture.node_bounds[-1]
+        ):
+            out_data = kernels.segment_matmul(
+                self.data, other.data, capture.node_bounds
+            )
+        else:
+            out_data = self.data @ other.data
 
         def backward_fn(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate_owned(grad @ other.data.T)
+                capture = per_example._ACTIVE
+                if capture is not None and grad.shape[0] == int(
+                    capture.node_bounds[-1]
+                ):
+                    self._accumulate_owned(
+                        kernels.segment_matmul(
+                            grad, other.data.T, capture.node_bounds
+                        )
+                    )
+                else:
+                    self._accumulate_owned(grad @ other.data.T)
             if other.requires_grad:
-                other._accumulate_owned(self.data.T @ grad)
+                # Right-operand parameters (``x @ W``, every Linear) are
+                # node-rowed throughout the model zoo; edge-rowed parameter
+                # matmuls go through the explicitly edge-aware
+                # ``edge_attention_logits``.  A left-operand Parameter under
+                # capture falls through to the accumulate guard.
+                capture = per_example._ACTIVE
+                if capture is not None and other._is_parameter:
+                    capture.matmul_nodes(other, self.data, grad)
+                else:
+                    other._accumulate_owned(self.data.T @ grad)
 
         return self._make(out_data, (self, other), backward_fn)
 
@@ -493,6 +558,28 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # Indexing
     # ------------------------------------------------------------------ #
+    def row_slice(self, start: int, stop: int) -> "Tensor":
+        """Contiguous row view ``self[start:stop]`` with scatter-back gradient.
+
+        The per-example loss recovery of the vectorized batch path: a slice
+        of a C-contiguous array has the same shape and strides as the
+        standalone array of the same rows, so downstream reductions (``sum``
+        with numpy's pairwise blocking, BLAS products) are bit-identical to
+        running them on the unbatched array.  The backward embeds the slice
+        gradient into zeros; row regions of other examples receive exact
+        ``+0.0``, which accumulation then preserves bit-exactly.
+        """
+        start, stop = int(start), int(stop)
+        out_data = self.data[start:stop]
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                full[start:stop] = grad
+                self._accumulate_owned(full)
+
+        return self._make(out_data, (self,), backward_fn)
+
     def gather_rows(
         self, indices: np.ndarray, *, flat_index: np.ndarray | None = None
     ) -> "Tensor":

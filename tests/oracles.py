@@ -1,0 +1,148 @@
+"""Differential-testing oracle harness for the training stack.
+
+The repo's correctness story for every execution knob (``grad_mode``,
+``grad_workers``, the kernel toggle, checkpoint/resume) is the same
+sentence: *the final weights, the per-iteration losses, and the accounted
+ε are byte-equal to the serial reference*.  This module turns that
+sentence into reusable helpers so each test states only the pair of
+configurations it compares:
+
+* :func:`train_outcome` — run Algorithm 2 under an arbitrary
+  :class:`DPTrainingConfig` knob set and capture the byte-level outcome;
+* :func:`resumed_outcome` — run the first ``split_at`` iterations under
+  one configuration, checkpoint, and finish under another;
+* :func:`assert_outcomes_identical` — compare two outcomes with a useful
+  error message (which component diverged first).
+
+The serial per-subgraph loop (``grad_mode="loop"``, ``grad_workers=1``)
+is the permanent oracle; every other configuration is differential-tested
+against it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.trainer import DPGNNTrainer, DPTrainingConfig
+from repro.gnn.models import build_gnn
+
+__all__ = [
+    "TrainOutcome",
+    "make_model",
+    "outcome_of",
+    "train_outcome",
+    "resumed_outcome",
+    "assert_outcomes_identical",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainOutcome:
+    """Byte-level result of a training run: the bit-identity contract."""
+
+    weights: bytes
+    losses: tuple
+    epsilon: float | None
+
+
+def make_model(kind: str = "gcn", *, hidden_features: int = 8, num_layers: int = 2,
+               rng: int = 0, **kwargs):
+    """A small deterministic model (identical weights for identical args)."""
+    return build_gnn(
+        kind, hidden_features=hidden_features, num_layers=num_layers, rng=rng,
+        **kwargs,
+    )
+
+
+def outcome_of(trainer: DPGNNTrainer) -> TrainOutcome:
+    """Capture a finished trainer's byte-level outcome."""
+    weights = np.concatenate(
+        [parameter.data.reshape(-1) for parameter in trainer.model.parameters()]
+    )
+    epsilon = trainer.spent_epsilon(1e-4) if trainer.accountant else None
+    return TrainOutcome(
+        weights=weights.tobytes(),
+        losses=tuple(trainer.history.losses),
+        epsilon=epsilon,
+    )
+
+
+def _config(**overrides) -> DPTrainingConfig:
+    settings = dict(
+        iterations=4, batch_size=4, sigma=1.0, clip_bound=1.0,
+        max_occurrences=4, grad_workers=1, grad_mode="loop",
+    )
+    settings.update(overrides)
+    return DPTrainingConfig(**settings)
+
+
+def train_outcome(container, *, model: str = "gcn", rng: int = 7,
+                  **config_overrides) -> TrainOutcome:
+    """Train from scratch under the given knob overrides; capture the outcome.
+
+    Every call builds an identically-initialised model, so two calls that
+    differ only in execution knobs (``grad_mode``, ``grad_workers``,
+    kernels) must produce identical :class:`TrainOutcome` values.
+    """
+    trainer = DPGNNTrainer(
+        make_model(model), container, _config(**config_overrides), rng=rng
+    )
+    try:
+        trainer.train()
+        return outcome_of(trainer)
+    finally:
+        trainer.close()
+
+
+def resumed_outcome(container, *, split_at: int, checkpoint_path: str,
+                    model: str = "gcn", rng: int = 7, resume_rng: int = 991,
+                    first: dict | None = None, second: dict | None = None,
+                    **shared_overrides) -> TrainOutcome:
+    """Train to ``split_at`` under ``first``, resume to the end under ``second``.
+
+    The resuming trainer is seeded differently (``resume_rng``) on purpose:
+    matching the uninterrupted run proves the checkpoint's restored RNG
+    streams — not the constructor seed — drive the continuation.
+    """
+    iterations = shared_overrides.pop("iterations", 6)
+    first_config = _config(
+        iterations=split_at, checkpoint_every=split_at,
+        checkpoint_path=checkpoint_path, **{**shared_overrides, **(first or {})},
+    )
+    partial = DPGNNTrainer(make_model(model), container, first_config, rng=rng)
+    try:
+        partial.train()
+    finally:
+        partial.close()
+
+    second_config = _config(
+        iterations=iterations, checkpoint_every=split_at,
+        checkpoint_path=checkpoint_path, **{**shared_overrides, **(second or {})},
+    )
+    resumed = DPGNNTrainer(
+        make_model(model), container, second_config, rng=resume_rng
+    )
+    try:
+        resumed.load_checkpoint(checkpoint_path)
+        resumed.train()
+        return outcome_of(resumed)
+    finally:
+        resumed.close()
+
+
+def assert_outcomes_identical(candidate: TrainOutcome, oracle: TrainOutcome,
+                              *, label: str = "candidate") -> None:
+    """Byte-compare two outcomes, naming the first diverging component."""
+    assert candidate.losses == oracle.losses, (
+        f"{label}: per-iteration losses diverged from the oracle "
+        f"({candidate.losses} vs {oracle.losses})"
+    )
+    assert candidate.epsilon == oracle.epsilon, (
+        f"{label}: accounted epsilon diverged from the oracle "
+        f"({candidate.epsilon} vs {oracle.epsilon})"
+    )
+    assert candidate.weights == oracle.weights, (
+        f"{label}: final weights are not byte-equal to the oracle"
+    )

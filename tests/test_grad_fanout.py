@@ -10,8 +10,14 @@ guarantees are untouched by parallelism.
 import numpy as np
 import pytest
 
+import os
+import signal
+from multiprocessing import shared_memory
+
 from repro.core.compute_plan import ComputePlan, ComputePlanCache
-from repro.core.grad_fanout import GradientFanout, subgraph_gradient
+from repro.core.grad_fanout import GRAD_MODES, GradientFanout, subgraph_gradient
+from tests.oracles import assert_outcomes_identical, resumed_outcome
+from tests.oracles import train_outcome as oracle_train_outcome
 from repro.core.loss import PenaltyLossConfig
 from repro.core.trainer import DPGNNTrainer, DPTrainingConfig
 from repro.errors import TrainingError
@@ -220,3 +226,185 @@ class TestComputePlanCache:
         cache = ComputePlanCache(container)
         cache.prebuild(feature_dim=8)
         assert len(cache) == len(container)
+
+
+class _PoisonedPlans(ComputePlanCache):
+    """Plan cache that fails for one slot — drives worker-error reporting."""
+
+    def plan(self, index):
+        if int(index) == 2:
+            raise RuntimeError("poisoned plan")
+        return super().plan(index)
+
+
+class TestGradModeBitIdentity:
+    """grad_mode x grad_workers x privacy: all byte-equal to the oracle.
+
+    The oracle is the serial per-subgraph loop (grad_mode="loop",
+    grad_workers=1).  Every other execution configuration must reproduce
+    its weights, losses, and accounted epsilon byte for byte.
+    """
+
+    @pytest.mark.parametrize("private", [True, False], ids=["private", "nonprivate"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("grad_mode", GRAD_MODES)
+    def test_matches_loop_serial_oracle(self, container, grad_mode, workers, private):
+        knobs = {} if private else {"sigma": 0.0, "clip_bound": None}
+        oracle = oracle_train_outcome(
+            container, grad_mode="loop", grad_workers=1, **knobs
+        )
+        candidate = oracle_train_outcome(
+            container, grad_mode=grad_mode, grad_workers=workers, **knobs
+        )
+        assert_outcomes_identical(
+            candidate, oracle, label=f"{grad_mode}/workers={workers}"
+        )
+
+    @pytest.mark.parametrize("model", ["grat", "gin"])
+    def test_vectorized_matches_loop_other_models(self, container, model):
+        oracle = oracle_train_outcome(container, model=model, grad_mode="loop")
+        candidate = oracle_train_outcome(
+            container, model=model, grad_mode="vectorized"
+        )
+        assert_outcomes_identical(candidate, oracle, label=f"vectorized/{model}")
+
+    def test_vectorized_kernels_off_matches_oracle(self, container):
+        oracle = oracle_train_outcome(container, grad_mode="loop")
+        with use_kernels(False):
+            candidate = oracle_train_outcome(container, grad_mode="vectorized")
+        assert_outcomes_identical(candidate, oracle, label="vectorized/kernels-off")
+
+    def test_resume_across_mode_and_worker_change(self, container, tmp_path):
+        """A vectorized 2-worker checkpoint resumes under loop 1-worker."""
+        uninterrupted = oracle_train_outcome(
+            container, iterations=6, grad_mode="loop", grad_workers=1
+        )
+        resumed = resumed_outcome(
+            container,
+            split_at=3,
+            iterations=6,
+            checkpoint_path=str(tmp_path / "xmode"),
+            first={"grad_mode": "vectorized", "grad_workers": 2},
+            second={"grad_mode": "loop", "grad_workers": 1},
+        )
+        assert_outcomes_identical(resumed, uninterrupted, label="resume v2->l1")
+
+    def test_resume_into_vectorized_workers(self, container, tmp_path):
+        """The reverse direction: loop checkpoint resumes under vectorized."""
+        uninterrupted = oracle_train_outcome(
+            container, iterations=6, grad_mode="loop", grad_workers=1
+        )
+        resumed = resumed_outcome(
+            container,
+            split_at=3,
+            iterations=6,
+            checkpoint_path=str(tmp_path / "xmode2"),
+            first={"grad_mode": "loop", "grad_workers": 1},
+            second={"grad_mode": "vectorized", "grad_workers": 2},
+        )
+        assert_outcomes_identical(resumed, uninterrupted, label="resume l1->v2")
+
+    def test_fingerprint_excludes_grad_mode(self, container):
+        config = DPTrainingConfig(
+            iterations=4, batch_size=4, sigma=1.0, grad_mode="vectorized"
+        )
+        trainer = DPGNNTrainer(make_model(), container, config, rng=7)
+        assert "grad_mode" not in trainer._fingerprint()
+        trainer.close()
+
+    def test_invalid_grad_mode_rejected(self):
+        with pytest.raises(TrainingError, match="grad_mode"):
+            DPTrainingConfig(grad_mode="turbo").validate()
+
+
+class TestWorkerFaults:
+    """Fault injection: dead or failing workers must never hang or
+    partially reduce, and shared memory must never leak."""
+
+    def _fanout(self, container, workers=2, grad_mode="vectorized"):
+        return GradientFanout(
+            make_model(),
+            ComputePlanCache(container),
+            PenaltyLossConfig(),
+            1.0,
+            workers,
+            grad_mode=grad_mode,
+        )
+
+    def _segment_names(self, fanout):
+        pool = fanout._pool
+        return [
+            pool._weights_shm.name,
+            pool._indices_shm.name,
+            pool._results_shm.name,
+        ]
+
+    def test_killed_worker_raises_clean_training_error(self, container):
+        fanout = self._fanout(container)
+        indices = np.arange(4)
+        fanout.compute(indices)  # spin up the pool
+        names = self._segment_names(fanout)
+        os.kill(fanout._pool._processes[0].pid, signal.SIGKILL)
+        with pytest.raises(TrainingError, match="died"):
+            fanout.compute(indices)
+        # The poisoned pool is torn down whole: no partial reduction is
+        # possible and its shared memory is unlinked even on the error path.
+        assert fanout._pool is None
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        fanout.close()
+
+    def test_worker_exception_propagates_with_cause(self, container):
+        fanout = GradientFanout(
+            make_model(),
+            _PoisonedPlans(container),
+            PenaltyLossConfig(),
+            1.0,
+            2,
+            grad_mode="loop",
+        )
+        with pytest.raises(TrainingError, match="poisoned plan"):
+            fanout.compute(np.arange(4))
+        assert fanout._pool is None
+        fanout.close()
+
+    def test_shared_memory_unlinked_on_close(self, container):
+        fanout = self._fanout(container)
+        results, _ = fanout.compute(np.arange(4))
+        assert len(results) == 4
+        names = self._segment_names(fanout)
+        fanout.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_close_is_idempotent_and_context_managed(self, container):
+        with self._fanout(container) as fanout:
+            fanout.compute(np.arange(4))
+            names = self._segment_names(fanout)
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        fanout.close()  # second close is a no-op
+
+    def test_pool_grows_for_larger_batches(self, container):
+        fanout = GradientFanout(
+            make_model(),
+            ComputePlanCache(container),
+            PenaltyLossConfig(),
+            1.0,
+            2,
+            grad_mode="vectorized",
+            max_batch=2,
+        )
+        try:
+            first, _ = fanout.compute(np.arange(2))
+            old_names = self._segment_names(fanout)
+            second, _ = fanout.compute(np.arange(6))
+            assert len(second) == 6
+            for name in old_names:  # the undersized pool was unlinked
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=name)
+        finally:
+            fanout.close()
