@@ -9,16 +9,24 @@ training datapoint next to the sampling benches.
 Every same-binary configuration must produce a **byte-identical loss
 history** — the engine's core guarantee — and the script exits non-zero if
 any pair diverges, which is what the CI smoke job (``--tiny --workers 1 2``)
-asserts on every push.
+asserts on every push.  The grid includes a paired in-memory-vs-store arm:
+the same pool is written to an on-disk :class:`SubgraphStore` and trained
+from there (with and without prefetching), and its loss histories join the
+identity assertion.
 
-Two regression gates guard the recorded numbers (full mode):
+Three regression gates guard the recorded numbers:
 
-* ``vectorized`` mode must be >= 1.5x the serial ``loop`` path;
+* ``vectorized`` mode must be >= 1.5x the serial ``loop`` path (full mode);
 * ``--grad-workers 4`` must be >= 1.3x single-worker throughput — enforced
   only when the machine actually has >= 4 CPU cores, because persistent
   workers cannot beat serial execution on a single core no matter how the
   IPC is implemented.  The core count is recorded either way, so a reader
-  of BENCH_training.json can tell an ungated number from a passing one.
+  of BENCH_training.json can tell an ungated number from a passing one;
+* **store RSS flatness**: subprocess probes train from an on-disk store at
+  a base pool size and at 10x that size; peak RSS (``ru_maxrss``) of the
+  large-pool run must stay within 1.2x of the small-pool run.  The same
+  probes run against in-memory pools (each record owning its bytes) so the
+  JSON records the contrast the store exists to provide.
 
 The in-binary "kernels off" arm restores ``np.add.at`` scatters but still
 runs the rewritten autograd walk and compute-plan cache, so it *understates*
@@ -84,13 +92,14 @@ def build_container(tiny: bool):
 
 
 def make_training_config(
-    iterations: int, container, workers: int | None, grad_mode: str | None = None
+    iterations: int, container, workers: int | None, grad_mode: str | None = None,
+    prefetch_depth: int | None = None,
 ):
     """Build the default training config, portable across source trees.
 
-    ``grad_workers`` and ``grad_mode`` only exist in the engine's config
-    dataclass, so they are passed conditionally — baseline subprocesses
-    construct the same config minus the fields.
+    ``grad_workers``, ``grad_mode``, and ``prefetch_depth`` only exist in
+    the engine's config dataclass, so they are passed conditionally —
+    baseline subprocesses construct the same config minus the fields.
     """
     kwargs = dict(
         iterations=iterations,
@@ -102,6 +111,8 @@ def make_training_config(
         kwargs["grad_workers"] = workers
     if grad_mode is not None:
         kwargs["grad_mode"] = grad_mode
+    if prefetch_depth is not None:
+        kwargs["prefetch_depth"] = prefetch_depth
     return DPTrainingConfig(**kwargs)
 
 
@@ -113,6 +124,7 @@ def run_configuration(
     kernels_on,
     model_kind,
     grad_mode=None,
+    prefetch_depth=None,
     clock=time.perf_counter,
 ):
     """One timed training run; returns (iterations/sec, loss history).
@@ -124,7 +136,9 @@ def run_configuration(
     """
     with use_kernels(kernels_on):
         model = build_gnn(model_kind, rng=bench_seed())
-        config = make_training_config(iterations, container, workers, grad_mode)
+        config = make_training_config(
+            iterations, container, workers, grad_mode, prefetch_depth
+        )
         trainer = DPGNNTrainer(model, container, config, rng=bench_seed())
         try:
             start = clock()
@@ -133,6 +147,103 @@ def run_configuration(
         finally:
             trainer.close()
     return iterations / elapsed, tuple(history.losses)
+
+
+def _clone_subgraph(subgraph):
+    """A deep copy whose CSR arrays own their bytes.
+
+    The RSS probe's in-memory arm replicates a small sampled pool up to the
+    target count; without the copy every replica would share the original's
+    arrays and the pool would occupy no additional memory, hiding exactly
+    the growth the store arm is contrasted against.
+    """
+    import numpy as np
+
+    from repro.graphs.graph import Graph
+    from repro.sampling.container import Subgraph
+
+    graph = subgraph.graph
+    clone = Graph.from_csr(
+        graph.num_nodes,
+        tuple(np.array(part, copy=True) for part in graph.out_csr()),
+        tuple(np.array(part, copy=True) for part in graph.in_csr()),
+        directed=graph.is_directed,
+    )
+    return Subgraph(clone, np.array(subgraph.node_map, copy=True))
+
+
+def run_rss_probe(source: str, count: int, iterations: int, model_kind: str) -> int:
+    """Subprocess body: train ``count`` subgraphs from ``source``, print peak RSS.
+
+    The base pool is sampled once and replicated to ``count`` records.  The
+    store arm streams replicas straight into the writer — never holding the
+    pool in Python — because ``ru_maxrss`` is a high-water mark: building
+    the pool in memory first would charge the store for the in-memory peak.
+    """
+    import resource
+    import tempfile
+
+    from repro.sampling.container import SubgraphContainer
+
+    base = build_container(tiny=True)
+    if source == "store":
+        from repro.sampling.store import SubgraphStoreWriter
+
+        with tempfile.TemporaryDirectory() as tmp:
+            writer = SubgraphStoreWriter(os.path.join(tmp, "store"))
+            for index in range(count):
+                writer.add(base[index % len(base)])
+            pool = writer.finalize()
+            try:
+                run_configuration(
+                    pool,
+                    iterations=iterations,
+                    workers=1,
+                    kernels_on=True,
+                    model_kind=model_kind,
+                    grad_mode="vectorized",
+                    prefetch_depth=2,
+                )
+            finally:
+                pool.close()
+    else:
+        pool = SubgraphContainer(
+            [_clone_subgraph(base[index % len(base)]) for index in range(count)]
+        )
+        run_configuration(
+            pool,
+            iterations=iterations,
+            workers=1,
+            kernels_on=True,
+            model_kind=model_kind,
+            grad_mode="vectorized",
+        )
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(f"PEAK_RSS_KB {peak_kb}")
+    return 0
+
+
+def rss_probe_subprocess(source: str, count: int, iterations: int, model: str) -> int:
+    """Launch :func:`run_rss_probe` in a fresh interpreter; return peak KB."""
+    result = subprocess.run(
+        [
+            sys.executable, os.path.abspath(__file__),
+            "--rss-probe", source,
+            "--probe-count", str(count),
+            "--iterations", str(iterations),
+            "--model", model,
+        ],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    for line in result.stdout.splitlines():
+        if line.startswith("PEAK_RSS_KB "):
+            return int(line.split()[1])
+    raise RuntimeError(
+        f"RSS probe ({source}, {count}) produced no measurement:\n"
+        f"{result.stdout}\n{result.stderr}"
+    )
 
 
 def timed_subprocess(src_path: str, argv: list[str]) -> float:
@@ -219,12 +330,32 @@ def main(argv=None) -> int:
         "--time-only", action="store_true", help=argparse.SUPPRESS
     )
     parser.add_argument(
+        "--rss-probe", choices=["memory", "store"], help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--probe-count", type=int, default=None, help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--rss-base", type=int, default=300,
+        help="base pool size for the RSS flatness probes (default: 300; "
+             "the large arm is 10x this)",
+    )
+    parser.add_argument(
+        "--skip-rss", action="store_true",
+        help="skip the peak-RSS flatness probes",
+    )
+    parser.add_argument(
         "--output",
         default=os.path.join(os.path.dirname(__file__), "..", "BENCH_training.json"),
         help="summary JSON path (default: repo-root BENCH_training.json)",
     )
     args = parser.parse_args(argv)
     iterations = args.iterations or (8 if args.tiny else 20)
+
+    if args.rss_probe:
+        return run_rss_probe(
+            args.rss_probe, args.probe_count, iterations, args.model
+        )
 
     if args.time_only:
         # Subprocess arm: serial defaults only, APIs common to both trees.
@@ -266,6 +397,7 @@ def main(argv=None) -> int:
         )
         runs.append(
             {
+                "source": "memory",
                 "grad_mode": grad_mode,
                 "grad_workers": workers,
                 "kernels": kernels_on,
@@ -277,6 +409,48 @@ def main(argv=None) -> int:
             f"  mode={grad_mode:10s} workers={workers} "
             f"kernels={'on ' if kernels_on else 'off'} -> {rate:7.3f} it/s"
         )
+
+    # Paired in-memory-vs-store arm: the same pool, written to an on-disk
+    # store and trained from there.  Its loss histories join the identity
+    # assertion below — training from mmap-backed records must be
+    # byte-identical to training from resident objects.
+    import tempfile
+
+    from repro.sampling.store import SubgraphStoreWriter
+
+    with tempfile.TemporaryDirectory() as store_tmp:
+        writer = SubgraphStoreWriter(os.path.join(store_tmp, "store"))
+        for subgraph in container:
+            writer.add(subgraph)
+        store = writer.finalize()
+        try:
+            for depth in (0, 2):
+                rate, losses = run_configuration(
+                    store,
+                    iterations=iterations,
+                    workers=1,
+                    kernels_on=True,
+                    model_kind=args.model,
+                    grad_mode="vectorized",
+                    prefetch_depth=depth,
+                )
+                runs.append(
+                    {
+                        "source": "store",
+                        "grad_mode": "vectorized",
+                        "grad_workers": 1,
+                        "kernels": True,
+                        "prefetch_depth": depth,
+                        "iterations_per_sec": round(rate, 3),
+                        "losses": losses,
+                    }
+                )
+                print(
+                    f"  mode=vectorized workers=1 kernels=on  source=store "
+                    f"depth={depth} -> {rate:7.3f} it/s"
+                )
+        finally:
+            store.close()
 
     reference = runs[0]["losses"]
     mismatched = [run for run in runs if run["losses"] != reference]
@@ -290,10 +464,11 @@ def main(argv=None) -> int:
         return 1
     print("loss histories: byte-identical across all configurations")
 
-    def rate_of(grad_mode, workers, kernels_on=True):
+    def rate_of(grad_mode, workers, kernels_on=True, source="memory"):
         for run in runs:
             if (
-                run["grad_mode"] == grad_mode
+                run["source"] == source
+                and run["grad_mode"] == grad_mode
                 and run["grad_workers"] == workers
                 and run["kernels"] == kernels_on
             ):
@@ -350,6 +525,52 @@ def main(argv=None) -> int:
         )
         if enforced and not gate["passed"]:
             failures.append(f"--grad-workers 4 is only {ratio:.2f}x single-worker (< 1.3x)")
+
+    memory_rate = rate_of("vectorized", 1)
+    store_rate = rate_of("vectorized", 1, source="store")
+    if memory_rate and store_rate:
+        print(
+            f"store/memory throughput: {store_rate / memory_rate:.2f}x "
+            "(informational; bit-identity is the gated property)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Store RSS flatness: growing the pool 10x must not grow peak RSS
+    # beyond 1.2x when training reads from the on-disk store.  Probes run
+    # in fresh interpreters so ru_maxrss reflects only that workload.
+    # ------------------------------------------------------------------ #
+    if not args.skip_rss:
+        base_count = args.rss_base
+        large_count = base_count * 10
+        probes = {}
+        for source in ("memory", "store"):
+            for count in (base_count, large_count):
+                peak_kb = rss_probe_subprocess(source, count, 4, args.model)
+                probes[(source, count)] = peak_kb
+                print(f"  rss probe source={source:6s} pool={count:5d} -> {peak_kb} KB peak")
+        store_ratio = probes[("store", large_count)] / probes[("store", base_count)]
+        gate = {
+            "pool_sizes": [base_count, large_count],
+            "store_rss_kb": [
+                probes[("store", base_count)], probes[("store", large_count)],
+            ],
+            "memory_rss_kb": [
+                probes[("memory", base_count)], probes[("memory", large_count)],
+            ],
+            "threshold": 1.2,
+            "ratio": round(store_ratio, 3),
+            "enforced": True,
+            "passed": store_ratio <= 1.2,
+        }
+        gates["store_rss_flatness"] = gate
+        print(
+            f"gate store RSS flatness: {store_ratio:.3f}x over a 10x pool "
+            "(threshold 1.2x)"
+        )
+        if not gate["passed"]:
+            failures.append(
+                f"store peak RSS grew {store_ratio:.2f}x when the pool grew 10x (> 1.2x)"
+            )
 
     summary = {
         "benchmark": "training_throughput",

@@ -91,6 +91,11 @@ def load_model(path: str | os.PathLike) -> GNN:
         raise TrainingError(f"no model checkpoint at {path}") from None
     except Exception as error:
         raise TrainingError(f"{path} is not a readable model checkpoint: {error}") from error
+    if not isinstance(archive, np.lib.npyio.NpzFile):
+        # np.load happily returns a bare ndarray for .npy payloads; entering
+        # the `with` block on one raises AttributeError instead of a clean
+        # error (an ndarray holds no file handle, so nothing needs closing).
+        raise TrainingError(f"{path} is not a repro model checkpoint")
     with archive:
         if _HEADER_KEY not in archive:
             raise TrainingError(f"{path} is not a repro model checkpoint")

@@ -23,6 +23,8 @@ container simply gets a fresh cache.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Callable, Hashable, TypeVar
 
 import numpy as np
@@ -31,7 +33,7 @@ from repro.errors import TrainingError
 from repro.gnn.features import degree_features
 from repro.graphs.graph import Graph
 from repro.nn import kernels
-from repro.sampling.container import SubgraphContainer
+from repro.sampling.container import SubgraphSource
 
 __all__ = ["BatchedComputePlan", "ComputePlan", "ComputePlanCache"]
 
@@ -163,44 +165,99 @@ class BatchedComputePlan(ComputePlan):
 
 
 class ComputePlanCache:
-    """One :class:`ComputePlan` per subgraph of a fixed container.
+    """One :class:`ComputePlan` per slot of a fixed subgraph source.
 
     Plans build lazily on first access; :meth:`prebuild` forces them all
     (the trainer does this before forking gradient workers so the arrays
     are shared copy-on-write instead of rebuilt per process).
+
+    For an in-memory container the cache is unbounded — one plan per slot
+    for the whole run.  For an on-disk :class:`~repro.sampling.store.
+    SubgraphStore` an unbounded cache would quietly re-materialise the
+    entire pool in RAM, defeating the store, so the trainer passes
+    ``max_plans`` and the cache evicts least-recently-used plans beyond
+    that bound.  Plans are pure functions of subgraph structure, so
+    eviction and rebuild can never change results — only timing.
+
+    Thread safety: ``plan()`` may be called concurrently by the prefetch
+    producer (cache warming) and the training thread.  Lookups and
+    insertions are lock-protected; plan *construction* happens outside the
+    lock, so the worst concurrency artefact is a harmless duplicate build
+    of a deterministic plan.
     """
 
-    def __init__(self, container: SubgraphContainer) -> None:
+    def __init__(
+        self, container: SubgraphSource, *, max_plans: int | None = None
+    ) -> None:
+        if max_plans is not None and max_plans < 1:
+            raise TrainingError(f"max_plans must be >= 1, got {max_plans}")
         self._container = container
-        self._plans: dict[int, ComputePlan] = {}
+        self._max_plans = max_plans
+        self._plans: OrderedDict[int, ComputePlan] = OrderedDict()
+        self._lock = threading.Lock()
 
     @property
-    def container(self) -> SubgraphContainer:
+    def container(self) -> SubgraphSource:
         return self._container
 
-    def matches(self, container: SubgraphContainer) -> bool:
+    @property
+    def max_plans(self) -> int | None:
+        return self._max_plans
+
+    def matches(self, container: SubgraphSource) -> bool:
         """Whether this cache was built for exactly ``container``."""
         return self._container is container
 
     def plan(self, index: int) -> ComputePlan:
-        """The plan for container slot ``index`` (built on first use)."""
+        """The plan for source slot ``index`` (built on first use)."""
         index = int(index)
-        plan = self._plans.get(index)
-        if plan is None:
-            if not 0 <= index < len(self._container):
-                raise TrainingError(
-                    f"plan index {index} out of range [0, {len(self._container)})"
-                )
-            plan = ComputePlan(self._container[index].graph)
+        with self._lock:
+            plan = self._plans.get(index)
+            if plan is not None:
+                if self._max_plans is not None:
+                    self._plans.move_to_end(index)
+                return plan
+        if not 0 <= index < len(self._container):
+            raise TrainingError(
+                f"plan index {index} out of range [0, {len(self._container)})"
+            )
+        plan = ComputePlan(self._container[index].graph)
+        with self._lock:
+            existing = self._plans.get(index)
+            if existing is not None:
+                return existing
             self._plans[index] = plan
+            if self._max_plans is not None and len(self._plans) > self._max_plans:
+                self._plans.popitem(last=False)
         return plan
 
     def prebuild(self, feature_dim: int | None = None) -> None:
-        """Force-build every plan (and optionally its feature matrix)."""
+        """Force-build every plan (and optionally its feature matrix).
+
+        Meaningless for a bounded cache (later builds would evict earlier
+        ones), so bounded caches reject it.
+        """
+        if self._max_plans is not None and len(self._container) > self._max_plans:
+            raise TrainingError(
+                f"cannot prebuild {len(self._container)} plans into a cache "
+                f"bounded at {self._max_plans}"
+            )
         for index in range(len(self._container)):
             plan = self.plan(index)
             if feature_dim is not None:
                 plan.features(feature_dim)
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
+
+    # Locks don't pickle; the spawn-context fan-out path ships the cache to
+    # workers, which get a fresh lock (single-threaded there anyway).
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

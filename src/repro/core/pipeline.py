@@ -83,6 +83,17 @@ class PrivIMConfig:
             continuing a killed run with bit-identical weights, losses, and
             accountant ε; when the file does not exist yet the run starts
             fresh (first launch of a crash-restart loop).
+        subgraph_store: directory to spill the sampled pool to as an
+            on-disk :class:`~repro.sampling.store.SubgraphStore` (created
+            fresh; must not already hold a store).  Training then reads
+            subgraphs through mmap instead of keeping the pool in RAM, so
+            memory stays flat however large ``num_subgraphs`` grows —
+            with bit-identical weights, losses, and ε versus the in-memory
+            pool.  ``None`` (default) keeps the pool in memory.
+        prefetch_depth: minibatches drawn/paged-in/plan-built ahead of
+            training on a background thread (0 disables).  An execution
+            detail with byte-identical results; pairs naturally with
+            ``subgraph_store`` to overlap disk reads with compute.
         rng: master seed for the whole pipeline.
     """
 
@@ -112,6 +123,8 @@ class PrivIMConfig:
     checkpoint_every: int | None = None
     checkpoint_path: str | None = None
     resume: bool = False
+    subgraph_store: str | None = None
+    prefetch_depth: int = 0
     rng: int | np.random.Generator | None = field(default=None, repr=False)
 
     def resolved_sampling_rate(self, num_nodes: int) -> float:
@@ -262,9 +275,14 @@ class _BasePipeline:
 
     # subclasses implement ------------------------------------------------
     def _sample(
-        self, graph: Graph
+        self, graph: Graph, sink=None
     ) -> tuple[SubgraphContainer, int, int, int, SamplingStats]:
-        """Return (container, bound N_g, stage1_count, stage2_count, stats)."""
+        """Return (container, bound N_g, stage1_count, stage2_count, stats).
+
+        ``sink`` (when given) receives the emitted subgraphs in place of a
+        fresh in-memory container — e.g. a
+        :class:`~repro.sampling.store.SubgraphStoreWriter`.
+        """
         raise NotImplementedError
 
     # ---------------------------------------------------------------------
@@ -282,11 +300,31 @@ class _BasePipeline:
             model=config.model,
             workers=config.workers,
         )
+        sink = None
+        if config.subgraph_store:
+            from repro.sampling.store import SubgraphStoreWriter
+
+            sink = SubgraphStoreWriter(
+                config.subgraph_store,
+                meta={"method": self.method_name, "num_nodes": graph.num_nodes},
+            )
         with obs.span("pipeline.sampling") as sampling_span:
             container, max_occurrences, stage1, stage2, sampling_stats = self._sample(
-                graph
+                graph, sink
             )
         preprocessing_seconds = sampling_span.seconds
+        if sink is not None:
+            # Seal the spilled shards and reopen the pool read-only: from
+            # here on, training touches subgraphs only through mmap.
+            with obs.span("pipeline.store_finalize") as span:
+                container = sink.finalize()
+            preprocessing_seconds += span.seconds
+            obs.event(
+                "subgraph_store",
+                path=container.path,
+                num_subgraphs=len(container),
+                seconds=span.seconds,
+            )
 
         if len(container) == 0:
             raise TrainingError(
@@ -346,6 +384,7 @@ class _BasePipeline:
             checkpoint_path=config.checkpoint_path,
             grad_workers=config.grad_workers,
             grad_mode=config.grad_mode,
+            prefetch_depth=config.prefetch_depth,
         )
         trainer = DPGNNTrainer(
             self.model, container, training_config, self._training_rng, obs=obs
@@ -367,10 +406,17 @@ class _BasePipeline:
         if trainer.accountant is not None:
             achieved_epsilon = trainer.accountant.epsilon(delta)
 
+        # The audit streams node_map prefixes for a store — it never loads
+        # the pool; computed before the store (which this fit owns) closes.
+        empirical_max_occurrence = container.max_occurrence(graph.num_nodes)
+        num_subgraphs = len(container)
+        if sink is not None:
+            container.close()
+
         self.result = PipelineResult(
-            num_subgraphs=len(container),
+            num_subgraphs=num_subgraphs,
             max_occurrences=max_occurrences,
-            empirical_max_occurrence=container.max_occurrence(graph.num_nodes),
+            empirical_max_occurrence=empirical_max_occurrence,
             sigma=sigma,
             epsilon=achieved_epsilon,
             delta=delta,
@@ -436,7 +482,7 @@ class PrivIM(_BasePipeline):
     method_name = "PrivIM"
 
     def _sample(
-        self, graph: Graph
+        self, graph: Graph, sink=None
     ) -> tuple[SubgraphContainer, int, int, int, SamplingStats]:
         config = self.config
         sampling = NaiveSamplingConfig(
@@ -448,7 +494,7 @@ class PrivIM(_BasePipeline):
             restart_probability=config.restart_probability,
             workers=config.workers,
         )
-        run = sample_naive(graph, sampling, self._sampling_rng, obs=self.obs)
+        run = sample_naive(graph, sampling, self._sampling_rng, obs=self.obs, sink=sink)
         bound = max_occurrences_naive(config.theta, config.num_layers)
         return run.container, bound, len(run.container), 0, run.stats
 
@@ -477,7 +523,7 @@ class PrivIMStar(_BasePipeline):
             self.method_name = "PrivIM+SCS"
 
     def _sample(
-        self, graph: Graph
+        self, graph: Graph, sink=None
     ) -> tuple[SubgraphContainer, int, int, int, SamplingStats]:
         config = self.config
         sampling = DualStageSamplingConfig(
@@ -491,7 +537,9 @@ class PrivIMStar(_BasePipeline):
             include_boundary=self.include_boundary,
             workers=config.workers,
         )
-        run = sample_dual_stage(graph, sampling, self._sampling_rng, obs=self.obs)
+        run = sample_dual_stage(
+            graph, sampling, self._sampling_rng, obs=self.obs, sink=sink
+        )
         bound = max_occurrences_dual_stage(config.threshold)
         return run.container, bound, run.stage1_count, run.stage2_count, run.stats
 

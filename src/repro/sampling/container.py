@@ -1,4 +1,4 @@
-"""Subgraphs and the subgraph container ``G_sub``.
+"""Subgraphs, the in-memory pool ``G_sub``, and the ``SubgraphSource`` API.
 
 A :class:`Subgraph` is an induced graph with the mapping back to original
 node ids; the :class:`SubgraphContainer` is the pool Algorithm 2 draws its
@@ -6,17 +6,31 @@ mini-batches from.  The container can also *audit itself*: it counts how
 often each original node occurs across subgraphs, which is exactly the
 quantity the sensitivity bounds (Lemmas 1–2) cap — the test suite asserts
 the theoretical bounds empirically on every sampler.
+
+Training no longer requires the pool to live in RAM: anything satisfying
+the :class:`SubgraphSource` protocol (this module's container, or the
+mmap-backed :class:`repro.sampling.store.SubgraphStore`) can feed
+:class:`repro.core.trainer.DPGNNTrainer`.  The occurrence audit is shared
+through :func:`accumulate_occurrence_counts` so both implementations count
+identically.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro.errors import SamplingError
 from repro.graphs.graph import Graph
 from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "Subgraph",
+    "SubgraphContainer",
+    "SubgraphSource",
+    "accumulate_occurrence_counts",
+]
 
 
 class Subgraph:
@@ -25,6 +39,10 @@ class Subgraph:
     Attributes:
         graph: the induced :class:`Graph` with local ids ``0..n-1``.
         node_map: ``node_map[i]`` is the original id of local node ``i``.
+            Original ids must be unique: a duplicate would mean one original
+            node occupies two local slots, silently doubling its gradient
+            contribution while the occurrence audit counts it once — a
+            privacy-accounting hazard, so it is rejected at construction.
     """
 
     __slots__ = ("graph", "node_map")
@@ -34,6 +52,12 @@ class Subgraph:
         if len(node_map) != graph.num_nodes:
             raise SamplingError(
                 f"node_map length {len(node_map)} != subgraph nodes {graph.num_nodes}"
+            )
+        if len(np.unique(node_map)) != len(node_map):
+            raise SamplingError(
+                "node_map contains duplicate original node ids; every local "
+                "node must map to a distinct original node or the sensitivity "
+                "audit undercounts its occurrences"
             )
         self.graph = graph
         self.node_map = node_map
@@ -46,8 +70,82 @@ class Subgraph:
         return f"Subgraph(num_nodes={self.num_nodes}, num_arcs={self.graph.num_edges})"
 
 
+def accumulate_occurrence_counts(
+    node_maps: Iterable[np.ndarray], num_original_nodes: int
+) -> np.ndarray:
+    """Per-node occurrence counts across an iterable of ``node_map`` arrays.
+
+    This is the one shared implementation of the sensitivity audit: the
+    maximum of the returned vector is the *empirical* ``N_g`` the privacy
+    analysis bounds.  Counting uses ``np.bincount`` — a fancy-indexed
+    ``counts[node_map] += 1`` would silently undercount any node appearing
+    twice in one map (numpy applies the increment once per unique index),
+    which is exactly the failure mode :class:`Subgraph` now rejects, and
+    which this accumulator is additionally immune to.
+
+    ``node_maps`` may be lazily materialised views (e.g. mmap slices from
+    an on-disk store); maps are batched before each ``bincount`` so the
+    audit never needs the whole pool in memory at once.
+    """
+    if num_original_nodes < 0:
+        raise SamplingError(
+            f"num_original_nodes must be >= 0, got {num_original_nodes}"
+        )
+    counts = np.zeros(num_original_nodes, dtype=np.int64)
+    batch: list[np.ndarray] = []
+    batch_entries = 0
+    # Flush roughly every 64Ki ids: one bincount per ~0.5 MB of input keeps
+    # the temporary concatenation small while amortising the per-call cost.
+    flush_threshold = 1 << 16
+    for node_map in node_maps:
+        array = np.asarray(node_map)
+        if array.size == 0:
+            continue
+        batch.append(array)
+        batch_entries += array.size
+        if batch_entries >= flush_threshold:
+            counts += np.bincount(
+                np.concatenate(batch), minlength=num_original_nodes
+            )
+            batch.clear()
+            batch_entries = 0
+    if batch:
+        counts += np.bincount(np.concatenate(batch), minlength=num_original_nodes)
+    return counts
+
+
+@runtime_checkable
+class SubgraphSource(Protocol):
+    """What the trainer needs from a pool of subgraphs (Module 1 output).
+
+    Implementations: :class:`SubgraphContainer` (everything in RAM) and
+    :class:`repro.sampling.store.SubgraphStore` (mmap-backed on-disk
+    shards).  ``in_memory`` tells consumers whether random access is free
+    (container) or each ``__getitem__`` materialises a record from disk —
+    the trainer bounds its compute-plan cache for the latter so memory
+    stays flat regardless of pool size.
+    """
+
+    #: Whether subgraphs are resident Python objects (True) or records
+    #: materialised on demand from storage (False).
+    in_memory: bool
+
+    def __len__(self) -> int: ...
+
+    def __getitem__(self, index: int) -> Subgraph: ...
+
+    def __iter__(self) -> Iterator[Subgraph]: ...
+
+    def occurrence_counts(self, num_original_nodes: int) -> np.ndarray: ...
+
+    def max_occurrence(self, num_original_nodes: int) -> int: ...
+
+
 class SubgraphContainer:
     """The pool ``G_sub`` of training subgraphs (paper's Module 1 output)."""
+
+    #: Subgraphs are resident objects; see :class:`SubgraphSource`.
+    in_memory = True
 
     def __init__(self, subgraphs: Sequence[Subgraph] = ()) -> None:
         self._subgraphs: list[Subgraph] = list(subgraphs)
@@ -76,6 +174,17 @@ class SubgraphContainer:
 
         This is Algorithm 2, line 3.  Raises if the pool is smaller than the
         batch, which would silently break the privacy accounting otherwise.
+
+        Determinism contract: for a fixed generator state the picks are a
+        pure function of ``(state, len(self), batch_size)`` — numpy's
+        ``Generator.choice`` stream is stable across the versions CI pins
+        (NEP 19 stream-compatibility policy), and the degenerate
+        ``batch_size == len(self)`` case still consumes the generator
+        (returning a drawn permutation, not a shortcut copy of the pool),
+        so interleaving full-pool and partial batches stays reproducible.
+        Mutating the pool (``add``/``extend``) between calls changes
+        ``len(self)`` and therefore the picks; the trainer guards against
+        exactly that happening mid-training.
         """
         if batch_size < 1:
             raise SamplingError(f"batch_size must be >= 1, got {batch_size}")
@@ -96,10 +205,9 @@ class SubgraphContainer:
         The maximum of this vector is the *empirical* ``N_g`` the privacy
         analysis bounds; tests assert ``occurrence_counts().max() <= N_g``.
         """
-        counts = np.zeros(num_original_nodes, dtype=np.int64)
-        for subgraph in self._subgraphs:
-            counts[subgraph.node_map] += 1
-        return counts
+        return accumulate_occurrence_counts(
+            (subgraph.node_map for subgraph in self._subgraphs), num_original_nodes
+        )
 
     def max_occurrence(self, num_original_nodes: int) -> int:
         """Maximum per-node occurrence across the pool (0 when empty)."""

@@ -113,7 +113,13 @@ class SamplingStats:
 
 @dataclass
 class NaiveSamplingRun:
-    """Output of :func:`sample_naive`."""
+    """Output of :func:`sample_naive`.
+
+    ``container`` is whatever sink the caller supplied (the default
+    in-memory :class:`SubgraphContainer`, or e.g. a
+    :class:`~repro.sampling.store.SubgraphStoreWriter` awaiting
+    ``finalize()``).
+    """
 
     container: SubgraphContainer
     projected: Graph
@@ -122,7 +128,11 @@ class NaiveSamplingRun:
 
 @dataclass
 class DualStageRun:
-    """Output of :func:`sample_dual_stage` (wrapped by ``DualStageResult``)."""
+    """Output of :func:`sample_dual_stage` (wrapped by ``DualStageResult``).
+
+    ``container`` is the caller-supplied sink (see
+    :class:`NaiveSamplingRun`); in-memory container by default.
+    """
 
     container: SubgraphContainer
     frequency: FrequencyVector
@@ -423,6 +433,7 @@ def sample_naive(
     rng: int | np.random.Generator | None = None,
     *,
     obs: Observability | None = None,
+    sink=None,
 ) -> NaiveSamplingRun:
     """Run Algorithm 1 with ``config.workers`` processes.
 
@@ -435,6 +446,13 @@ def sample_naive(
     ``obs`` receives ``sampling.projection`` / ``sampling.walks`` stage
     spans and the engine counters; the observability layer never touches
     the randomness, so it cannot perturb the sampled container.
+
+    ``sink`` is where accepted subgraphs are emitted — anything with the
+    container's ``add(Subgraph)`` shape.  Passing a
+    :class:`~repro.sampling.store.SubgraphStoreWriter` spills the pool
+    straight to disk, keeping sampler memory flat in the pool size.  The
+    emitted *sequence* is identical for every sink, so a store-backed run
+    trains bit-identically to an in-memory one.
     """
     config.validate()
     obs = ensure_obs(obs)
@@ -452,7 +470,7 @@ def sample_naive(
     root = derive_root_entropy(generator)
     stats.starts_selected = int(len(selected))
 
-    container = SubgraphContainer()
+    container = SubgraphContainer() if sink is None else sink
     with obs.span("sampling.walks") as span:
         if len(selected):
             params = (
@@ -567,6 +585,7 @@ def sample_dual_stage(
     rng: int | np.random.Generator | None = None,
     *,
     obs: Observability | None = None,
+    sink=None,
 ) -> DualStageRun:
     """Run Algorithm 3 with ``config.workers`` processes.
 
@@ -579,6 +598,10 @@ def sample_dual_stage(
     and the engine counters.  ``stats.stage_seconds`` always carries *both*
     stage keys — ``stage2`` is 0.0 on SCS-only configs — so timing
     consumers never have to guard a missing key.
+
+    ``sink`` redirects emitted subgraphs (see :func:`sample_naive`) — the
+    cap bookkeeping lives in the coordinator's :class:`FrequencyVector`,
+    never in the sink, so spilling to disk cannot perturb validation.
     """
     config.validate()
     obs = ensure_obs(obs)
@@ -592,7 +615,7 @@ def sample_dual_stage(
 
     frequency = FrequencyVector(graph.num_nodes, config.threshold)
     all_nodes = np.arange(graph.num_nodes, dtype=np.int64)
-    container = SubgraphContainer()
+    container = SubgraphContainer() if sink is None else sink
 
     with obs.span("sampling.stage1") as span:
         stage1_count = _frequency_pass(

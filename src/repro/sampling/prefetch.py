@@ -1,0 +1,194 @@
+"""Bounded-queue prefetching for the training minibatch pipeline.
+
+Two layers:
+
+* :class:`PrefetchIterator` — a generic background iterator: a producer
+  thread drains any iterable into a bounded queue while the consumer pulls
+  from the front, overlapping the producer's work (disk reads, plan
+  construction) with the consumer's (training compute).  Producer
+  exceptions surface on the consumer at the position they occurred;
+  :meth:`PrefetchIterator.close` always drains the queue and joins the
+  producer, even when the consumer dies mid-stream.
+
+* :class:`MinibatchPrefetcher` — the trainer-specific pipeline stage.  It
+  draws Algorithm 2's batch indices from the trainer's *live* batch RNG on
+  the producer thread, ahead of consumption, and warms the compute-plan
+  cache for each drawn batch (for an on-disk store this is where record
+  bytes are paged in and CSR plans built — off the training thread).
+
+The subtle part is checkpoint bit-identity: because the producer runs
+ahead, the live RNG is ``depth`` batches in the future whenever the
+trainer wants to snapshot state.  Each queue item therefore carries the
+serialized RNG state *after exactly that draw*; the trainer checkpoints
+the consumed batch's snapshot, so a resumed run redraws precisely the
+batches the interrupted run never trained on — byte-for-byte the same
+stream a ``prefetch_depth=0`` run produces.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterable, Iterator, TypeVar
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.utils.rng import serialize_rng_state
+
+T = TypeVar("T")
+
+__all__ = ["PrefetchIterator", "MinibatchPrefetcher"]
+
+_POLL_SECONDS = 0.05
+
+
+class PrefetchIterator(Iterator[T]):
+    """Iterate ``iterable`` on a background thread through a bounded queue.
+
+    Args:
+        iterable: source of items; consumed on the producer thread, so it
+            must not share mutable state with the consumer (the minibatch
+            producer deliberately owns the batch RNG while active).
+        depth: queue bound — at most this many items are materialised
+            ahead of the consumer.
+    """
+
+    def __init__(self, iterable: Iterable[T], depth: int) -> None:
+        if depth < 1:
+            raise SamplingError(f"prefetch depth must be >= 1, got {depth}")
+        self._queue: queue.Queue = queue.Queue(depth)
+        self._stop = threading.Event()
+        self._finished = False
+        self._thread = threading.Thread(
+            target=self._produce, args=(iter(iterable),), daemon=True
+        )
+        self._thread.start()
+
+    def _put(self, message: tuple) -> bool:
+        """Blocking put that aborts when the consumer closes the queue."""
+        while not self._stop.is_set():
+            try:
+                self._queue.put(message, timeout=_POLL_SECONDS)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def _produce(self, iterator: Iterator[T]) -> None:
+        try:
+            for item in iterator:
+                if not self._put(("item", item)):
+                    return
+            terminal = ("done", None)
+        except BaseException as error:  # surfaced on the consumer side
+            terminal = ("error", error)
+        self._put(terminal)
+
+    def __iter__(self) -> "PrefetchIterator[T]":
+        return self
+
+    def __next__(self) -> T:
+        if self._finished:
+            raise StopIteration
+        if self._stop.is_set():
+            raise SamplingError("prefetch iterator is closed")
+        while True:
+            try:
+                kind, value = self._queue.get(timeout=_POLL_SECONDS)
+                break
+            except queue.Empty:
+                if not self._thread.is_alive():
+                    # No terminal message and no producer: it was closed
+                    # out from under us or killed uncleanly.
+                    raise SamplingError(
+                        "prefetch producer exited without a terminal message"
+                    ) from None
+        if kind == "item":
+            return value
+        self._finished = True
+        self._stop.set()
+        if kind == "error":
+            raise value
+        raise StopIteration
+
+    def close(self) -> None:
+        """Stop the producer, drain the queue, and join the thread.
+
+        Safe to call repeatedly and from ``finally`` blocks: a producer
+        blocked on a full queue observes the stop flag within one poll
+        interval, so the join cannot deadlock.
+        """
+        self._stop.set()
+        try:
+            while True:
+                self._queue.get_nowait()
+        except queue.Empty:
+            pass
+        self._thread.join(timeout=10.0)
+        if self._thread.is_alive():  # pragma: no cover - defensive
+            raise SamplingError("prefetch producer failed to stop")
+
+    def __enter__(self) -> "PrefetchIterator[T]":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class MinibatchPrefetcher:
+    """Pipelined sample→pack stage feeding ``DPGNNTrainer.train``.
+
+    Each produced item is ``(batch_indices, rng_state_after_draw)``.  While
+    the prefetcher is active it *owns* ``rng`` — the trainer must neither
+    draw from nor serialize the live generator until :meth:`close` returns
+    (it checkpoints the per-item snapshots instead).
+
+    Args:
+        rng: the trainer's batch generator, advanced on the producer thread.
+        pool_size: ``len(source)`` — the subsampling population.
+        batch_size: Algorithm 2's ``B``.
+        num_batches: exactly how many batches to draw.  Capping draws at the
+            remaining iterations means the live RNG finishes in the same
+            state a non-prefetched run leaves it in.
+        depth: bounded-queue size (batches materialised ahead).
+        plans: optional :class:`~repro.core.compute_plan.ComputePlanCache`
+            warmed for every drawn index on the producer thread — for an
+            on-disk store this moves record paging + plan construction off
+            the training thread.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        pool_size: int,
+        batch_size: int,
+        num_batches: int,
+        *,
+        depth: int,
+        plans=None,
+    ) -> None:
+        if num_batches < 0:
+            raise SamplingError(f"num_batches must be >= 0, got {num_batches}")
+        self.initial_state = serialize_rng_state(rng)
+
+        def produce():
+            for _ in range(num_batches):
+                indices = rng.choice(pool_size, size=batch_size, replace=False)
+                state_after = serialize_rng_state(rng)
+                if plans is not None:
+                    for index in indices:
+                        plans.plan(int(index))
+                yield indices, state_after
+
+        self._iterator: PrefetchIterator = PrefetchIterator(produce(), depth)
+
+    def __iter__(self) -> "MinibatchPrefetcher":
+        return self
+
+    def __next__(self) -> tuple[np.ndarray, dict]:
+        return next(self._iterator)
+
+    def close(self) -> None:
+        """Stop the producer and release ownership of the generator."""
+        self._iterator.close()

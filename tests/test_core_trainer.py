@@ -101,6 +101,23 @@ class TestValidation:
         with pytest.raises(TrainingError):
             DPGNNTrainer(make_model(), SubgraphContainer(), config)
 
+    def test_pool_mutated_mid_training_rejected(self, container):
+        # extend() between steps changes len(pool): the accountant's
+        # subsampling ratio and the batch picks both depend on it, so the
+        # trainer must refuse rather than silently mis-account epsilon.
+        from repro.sampling.container import SubgraphContainer
+
+        pool = SubgraphContainer()
+        pool.extend(container)
+        config = DPTrainingConfig(iterations=3, batch_size=4, sigma=0.5)
+        trainer = DPGNNTrainer(make_model(), pool, config, rng=0)
+        trainer.train_step()
+        extra = SubgraphContainer([container[0]])
+        pool.extend(extra)
+        with pytest.raises(TrainingError, match="pool size changed"):
+            trainer.train_step()
+        trainer.close()
+
     def test_batch_larger_than_container_rejected(self, container):
         config = DPTrainingConfig(batch_size=10_000)
         with pytest.raises(TrainingError):

@@ -1,0 +1,482 @@
+"""On-disk subgraph store + prefetch pipeline: round-trip, faults, bit-identity.
+
+The contract under test mirrors the repo's other execution knobs: training
+from a :class:`SubgraphStore` (with or without prefetching) produces
+byte-identical weights, per-iteration losses, and accounted ε versus the
+in-memory :class:`SubgraphContainer` holding the same pool — and every
+corruption mode (truncated shard, flipped bit, damaged index) is rejected
+with a clean :class:`SamplingError` before any training happens.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.oracles import (
+    assert_outcomes_identical,
+    resumed_outcome,
+    train_outcome,
+)
+from repro.errors import SamplingError
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.graphs.graph import Graph
+from repro.sampling.container import Subgraph, SubgraphContainer, SubgraphSource
+from repro.sampling.dual_stage import DualStageSamplingConfig
+from repro.sampling.naive import NaiveSamplingConfig
+from repro.sampling.parallel import sample_dual_stage, sample_naive
+from repro.sampling.prefetch import MinibatchPrefetcher, PrefetchIterator
+from repro.sampling.store import (
+    INDEX_NAME,
+    SubgraphStore,
+    SubgraphStoreWriter,
+)
+from repro.utils.rng import restore_rng_state, serialize_rng_state
+
+
+@pytest.fixture(scope="module")
+def pool():
+    graph = powerlaw_cluster_graph(150, 3, 0.3, rng=4)
+    config = DualStageSamplingConfig(
+        subgraph_size=10, threshold=4, sampling_rate=0.8, walk_length=300
+    )
+    container = sample_dual_stage(graph, config, rng=4).container
+    return graph, container
+
+
+def write_store(container, path, **kwargs) -> SubgraphStore:
+    writer = SubgraphStoreWriter(path, **kwargs)
+    for subgraph in container:
+        writer.add(subgraph)
+    return writer.finalize()
+
+
+def assert_subgraphs_equal(left: Subgraph, right: Subgraph) -> None:
+    np.testing.assert_array_equal(left.node_map, right.node_map)
+    assert left.graph.num_nodes == right.graph.num_nodes
+    assert left.graph.is_directed == right.graph.is_directed
+    for ours, theirs in zip(left.graph.out_csr(), right.graph.out_csr()):
+        np.testing.assert_array_equal(ours, theirs)
+    for ours, theirs in zip(left.graph.in_csr(), right.graph.in_csr()):
+        np.testing.assert_array_equal(ours, theirs)
+
+
+class TestRoundTrip:
+    def test_store_is_subgraph_source(self, pool, tmp_path):
+        _, container = pool
+        store = write_store(container, tmp_path / "store")
+        assert isinstance(store, SubgraphSource)
+        assert store.in_memory is False
+        store.close()
+
+    def test_elementwise_identical(self, pool, tmp_path):
+        graph, container = pool
+        with write_store(container, tmp_path / "store", shard_bytes=4096) as store:
+            assert len(store) == len(container)
+            for index in range(len(container)):
+                assert_subgraphs_equal(container[index], store[index])
+            # negative indexing matches list semantics
+            assert_subgraphs_equal(container[len(container) - 1], store[-1])
+
+    def test_occurrence_audit_matches_in_memory(self, pool, tmp_path):
+        graph, container = pool
+        with write_store(container, tmp_path / "store") as store:
+            np.testing.assert_array_equal(
+                store.occurrence_counts(graph.num_nodes),
+                container.occurrence_counts(graph.num_nodes),
+            )
+            assert store.max_occurrence(graph.num_nodes) == container.max_occurrence(
+                graph.num_nodes
+            )
+            assert store.coverage(graph.num_nodes) == container.coverage(
+                graph.num_nodes
+            )
+
+    def test_sampler_spills_identical_pool(self, pool, tmp_path):
+        """sink= on the sampler emits the exact sequence the in-memory
+        container receives (same seed, same validation schedule)."""
+        graph, container = pool
+        config = DualStageSamplingConfig(
+            subgraph_size=10, threshold=4, sampling_rate=0.8, walk_length=300
+        )
+        writer = SubgraphStoreWriter(tmp_path / "spill")
+        run = sample_dual_stage(graph, config, rng=4, sink=writer)
+        assert run.container is writer
+        with writer.finalize() as store:
+            assert len(store) == len(container)
+            for index in range(len(container)):
+                assert_subgraphs_equal(container[index], store[index])
+
+    def test_naive_sampler_accepts_sink(self, tmp_path):
+        graph = powerlaw_cluster_graph(120, 3, 0.3, rng=9)
+        config = NaiveSamplingConfig(
+            theta=10, subgraph_size=8, hops=2, sampling_rate=0.5, walk_length=200
+        )
+        reference = sample_naive(graph, config, rng=3).container
+        writer = SubgraphStoreWriter(tmp_path / "naive")
+        sample_naive(graph, config, rng=3, sink=writer)
+        with writer.finalize() as store:
+            assert len(store) == len(reference)
+            for index in range(len(reference)):
+                assert_subgraphs_equal(reference[index], store[index])
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        num_subgraphs=st.integers(1, 12),
+        shard_bytes=st.sampled_from([1, 512, 1 << 20]),
+    )
+    def test_roundtrip_property(self, seed, num_subgraphs, shard_bytes, tmp_path_factory):
+        """Any pool of random induced subgraphs survives store→reload
+        element-wise, for shard sizes from one-record-per-shard upward."""
+        rng = np.random.default_rng(seed)
+        graph = powerlaw_cluster_graph(60, 2, 0.3, rng=int(rng.integers(1 << 30)))
+        container = SubgraphContainer()
+        for _ in range(num_subgraphs):
+            size = int(rng.integers(1, 12))
+            nodes = rng.choice(graph.num_nodes, size=size, replace=False)
+            sub, node_map = graph.subgraph(nodes)
+            container.add(Subgraph(sub, node_map))
+        path = tmp_path_factory.mktemp("prop") / "store"
+        with write_store(container, path, shard_bytes=shard_bytes) as store:
+            assert len(store) == len(container)
+            for index in range(len(container)):
+                assert_subgraphs_equal(container[index], store[index])
+            np.testing.assert_array_equal(
+                store.occurrence_counts(graph.num_nodes),
+                container.occurrence_counts(graph.num_nodes),
+            )
+
+    def test_pickle_reopens_by_path(self, pool, tmp_path):
+        import pickle
+
+        _, container = pool
+        with write_store(container, tmp_path / "store") as store:
+            clone = pickle.loads(pickle.dumps(store))
+            try:
+                assert_subgraphs_equal(store[2], clone[2])
+            finally:
+                clone.close()
+
+
+class TestWriterGuards:
+    def test_refuses_existing_store(self, pool, tmp_path):
+        _, container = pool
+        write_store(container, tmp_path / "store").close()
+        with pytest.raises(SamplingError, match="already holds"):
+            SubgraphStoreWriter(tmp_path / "store")
+
+    def test_refuses_add_after_finalize(self, pool, tmp_path):
+        _, container = pool
+        writer = SubgraphStoreWriter(tmp_path / "store")
+        writer.add(container[0])
+        writer.finalize().close()
+        with pytest.raises(SamplingError, match="finalized"):
+            writer.add(container[1])
+        with pytest.raises(SamplingError, match="finalized"):
+            writer.finalize()
+
+    def test_empty_store_roundtrips(self, tmp_path):
+        with SubgraphStoreWriter(tmp_path / "empty").finalize() as store:
+            assert len(store) == 0
+            assert store.max_occurrence(10) == 0
+
+    def test_writer_memory_is_bounded_by_shard_bytes(self, pool, tmp_path):
+        _, container = pool
+        writer = SubgraphStoreWriter(tmp_path / "store", shard_bytes=2048)
+        for subgraph in container:
+            writer.add(subgraph)
+            # add() flushes whenever the buffer reaches shard_bytes, so the
+            # writer never holds more than one shard's worth of records.
+            assert writer._pending_bytes < 2048
+        with writer.finalize() as store:
+            shards = [
+                name
+                for name in os.listdir(tmp_path / "store")
+                if name.startswith("shard-")
+            ]
+            assert len(shards) > 1
+            assert len(store) == len(container)
+
+
+class TestFaultInjection:
+    def test_truncated_shard_rejected(self, pool, tmp_path):
+        _, container = pool
+        write_store(container, tmp_path / "store").close()
+        shard = tmp_path / "store" / "shard-00000.bin"
+        blob = shard.read_bytes()
+        shard.write_bytes(blob[:-16])
+        with pytest.raises(SamplingError, match="truncated"):
+            SubgraphStore(tmp_path / "store")
+
+    def test_bitflipped_shard_rejected(self, pool, tmp_path):
+        _, container = pool
+        write_store(container, tmp_path / "store").close()
+        shard = tmp_path / "store" / "shard-00000.bin"
+        blob = bytearray(shard.read_bytes())
+        blob[-8] ^= 0x40
+        shard.write_bytes(bytes(blob))
+        with pytest.raises(SamplingError, match="checksum"):
+            SubgraphStore(tmp_path / "store")
+
+    def test_missing_shard_rejected(self, pool, tmp_path):
+        _, container = pool
+        write_store(container, tmp_path / "store").close()
+        os.remove(tmp_path / "store" / "shard-00000.bin")
+        with pytest.raises(SamplingError, match="missing"):
+            SubgraphStore(tmp_path / "store")
+
+    def test_corrupt_index_rejected(self, pool, tmp_path):
+        _, container = pool
+        write_store(container, tmp_path / "store").close()
+        index = tmp_path / "store" / INDEX_NAME
+        blob = bytearray(index.read_bytes())
+        blob[-1] ^= 0x01
+        index.write_bytes(bytes(blob))
+        with pytest.raises(SamplingError, match="checksum"):
+            SubgraphStore(tmp_path / "store")
+
+    def test_garbage_index_rejected(self, tmp_path):
+        os.makedirs(tmp_path / "store")
+        (tmp_path / "store" / INDEX_NAME).write_bytes(b"not a store at all")
+        with pytest.raises(SamplingError):
+            SubgraphStore(tmp_path / "store")
+
+    def test_missing_store_rejected(self, tmp_path):
+        with pytest.raises(SamplingError, match="no subgraph store index"):
+            SubgraphStore(tmp_path / "nope")
+
+    def test_wrong_magic_rejected(self, pool, tmp_path):
+        """A training checkpoint is not a store index, even though both use
+        the same checksummed framing."""
+        _, container = pool
+        write_store(container, tmp_path / "store").close()
+        index = tmp_path / "store" / INDEX_NAME
+        blob = index.read_bytes()
+        index.write_bytes(b"REPRO-CKPT-v1" + blob[len(b"REPRO-SGIDX-v1"):])
+        with pytest.raises(SamplingError):
+            SubgraphStore(tmp_path / "store")
+
+    def test_closed_store_rejects_reads(self, pool, tmp_path):
+        _, container = pool
+        store = write_store(container, tmp_path / "store")
+        store.close()
+        with pytest.raises(SamplingError, match="closed"):
+            store[0]
+        with pytest.raises(SamplingError, match="closed"):
+            store.occurrence_counts(10)
+
+
+class TestPrefetchIterator:
+    def test_preserves_order_and_items(self):
+        with PrefetchIterator(range(100), depth=4) as it:
+            assert list(it) == list(range(100))
+
+    def test_producer_error_surfaces_in_position(self):
+        def gen():
+            yield 1
+            yield 2
+            raise ValueError("boom at three")
+
+        it = PrefetchIterator(gen(), depth=2)
+        assert next(it) == 1
+        assert next(it) == 2
+        with pytest.raises(ValueError, match="boom at three"):
+            next(it)
+        it.close()
+
+    def test_depth_bounds_readahead(self):
+        produced = []
+
+        def gen():
+            for value in range(50):
+                produced.append(value)
+                yield value
+
+        it = PrefetchIterator(gen(), depth=3)
+        time.sleep(0.2)
+        # queue(depth) + the one item blocked in put() + the generator's
+        # next pending value: read-ahead can never exceed depth + 2.
+        assert len(produced) <= 5
+        it.close()
+
+    def test_consumer_exception_drains_and_joins(self):
+        """The fault-injection contract: a consumer that dies mid-stream can
+        always close() — the producer unblocks and joins cleanly."""
+        started = threading.Event()
+
+        def gen():
+            for value in range(10_000):
+                started.set()
+                yield value
+
+        it = PrefetchIterator(gen(), depth=1)
+        started.wait(timeout=5.0)
+        try:
+            next(it)
+            raise RuntimeError("consumer crash")
+        except RuntimeError:
+            it.close()  # must not deadlock on the blocked producer
+        assert not it._thread.is_alive()
+        with pytest.raises(SamplingError, match="closed"):
+            next(it)
+
+    def test_close_is_idempotent(self):
+        it = PrefetchIterator(range(5), depth=2)
+        it.close()
+        it.close()
+
+    def test_exhausted_iterator_keeps_raising_stopiteration(self):
+        it = PrefetchIterator(range(2), depth=2)
+        assert list(it) == [0, 1]
+        with pytest.raises(StopIteration):
+            next(it)
+        it.close()
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(SamplingError, match="depth"):
+            PrefetchIterator(range(2), depth=0)
+
+
+class TestMinibatchPrefetcher:
+    def test_matches_direct_draws_and_snapshots(self):
+        reference = np.random.default_rng(42)
+        expected = []
+        for _ in range(7):
+            expected.append(reference.choice(20, size=5, replace=False))
+
+        rng = np.random.default_rng(42)
+        prefetcher = MinibatchPrefetcher(rng, 20, 5, 7, depth=3)
+        states = []
+        try:
+            for want in expected:
+                got, state_after = next(prefetcher)
+                np.testing.assert_array_equal(got, want)
+                states.append(state_after)
+        finally:
+            prefetcher.close()
+
+        # Each snapshot replays to exactly the next batch of the stream.
+        replay = np.random.default_rng(1)
+        restore_rng_state(replay, states[2])
+        np.testing.assert_array_equal(
+            replay.choice(20, size=5, replace=False), expected[3]
+        )
+
+    def test_draws_capped_at_num_batches(self):
+        rng = np.random.default_rng(0)
+        prefetcher = MinibatchPrefetcher(rng, 10, 2, 3, depth=8)
+        batches = list(prefetcher)
+        prefetcher.close()
+        assert len(batches) == 3
+        # The live generator ends exactly where 3 serial draws leave it.
+        serial = np.random.default_rng(0)
+        for _ in range(3):
+            serial.choice(10, size=2, replace=False)
+        assert serialize_rng_state(rng) == serialize_rng_state(serial)
+
+
+class TestStoreTrainingBitIdentity:
+    """The acceptance criterion: store training is byte-identical."""
+
+    @pytest.fixture(scope="class")
+    def sources(self, pool, tmp_path_factory):
+        _, container = pool
+        store = write_store(
+            container, tmp_path_factory.mktemp("oracle") / "store", shard_bytes=8192
+        )
+        yield container, store
+        store.close()
+
+    @pytest.mark.parametrize("grad_mode", ["loop", "vectorized"])
+    @pytest.mark.parametrize("prefetch_depth", [0, 3])
+    def test_store_matches_memory(self, sources, grad_mode, prefetch_depth):
+        container, store = sources
+        oracle = train_outcome(container)
+        candidate = train_outcome(
+            store, grad_mode=grad_mode, prefetch_depth=prefetch_depth
+        )
+        assert_outcomes_identical(
+            candidate, oracle, label=f"store/{grad_mode}/depth{prefetch_depth}"
+        )
+
+    def test_nonprivate_store_matches_memory(self, sources):
+        container, store = sources
+        oracle = train_outcome(container, sigma=0.0, clip_bound=None)
+        candidate = train_outcome(
+            store, sigma=0.0, clip_bound=None, prefetch_depth=2
+        )
+        assert_outcomes_identical(candidate, oracle, label="nonprivate store")
+
+    def test_store_fanout_workers_match_memory(self, sources):
+        """Workers re-open the store by path (pickle) and page records in
+        on demand — still byte-identical."""
+        container, store = sources
+        oracle = train_outcome(container)
+        candidate = train_outcome(store, grad_workers=2)
+        assert_outcomes_identical(candidate, oracle, label="store workers=2")
+
+    def test_resume_from_store_with_prefetch(self, sources, tmp_path):
+        """Checkpoint written mid-run under prefetch (the RNG-snapshot path)
+        resumes to the uninterrupted outcome, including when the resuming
+        run uses a different prefetch depth than the interrupted one."""
+        container, store = sources
+        oracle = train_outcome(container, iterations=6)
+        candidate = resumed_outcome(
+            store,
+            split_at=3,
+            checkpoint_path=str(tmp_path / "ckpt.npz"),
+            iterations=6,
+            first=dict(prefetch_depth=4),
+        )
+        assert_outcomes_identical(candidate, oracle, label="store+prefetch resume")
+
+        across = resumed_outcome(
+            container,
+            split_at=2,
+            checkpoint_path=str(tmp_path / "ckpt2.npz"),
+            iterations=6,
+            first=dict(prefetch_depth=2),
+            second=dict(prefetch_depth=0),
+        )
+        assert_outcomes_identical(across, oracle, label="cross-depth resume")
+
+    def test_midrun_state_dict_uses_consumed_snapshot(self, sources):
+        """state_dict() captured while the producer has read ahead must
+        serialize the consumed position, not the live generator's."""
+        from repro.core.trainer import DPGNNTrainer, DPTrainingConfig
+        from tests.oracles import make_model
+
+        container, store = sources
+        config = DPTrainingConfig(
+            iterations=4, batch_size=4, sigma=1.0, clip_bound=1.0,
+            max_occurrences=4, prefetch_depth=3,
+            checkpoint_every=2, checkpoint_path="ignored",
+        )
+        captured = {}
+        trainer = DPGNNTrainer(make_model("gcn"), store, config, rng=7)
+        original = DPGNNTrainer.save_checkpoint
+
+        def capture(self, path=None, scheduler=None):
+            if not captured:
+                captured["state"] = self.state_dict()
+            return "skipped"
+
+        DPGNNTrainer.save_checkpoint = capture
+        try:
+            trainer.train()
+        finally:
+            DPGNNTrainer.save_checkpoint = original
+
+        # Serial reference: after 2 iterations the batch RNG has advanced
+        # by exactly 2 draws.
+        serial = np.random.default_rng(0)
+        restore_rng_state(serial, captured["state"]["batch_rng"])
+        from repro.utils.rng import spawn_rngs, ensure_rng
+        batch_rng, _ = spawn_rngs(ensure_rng(7), 2)
+        for _ in range(2):
+            batch_rng.choice(len(store), size=4, replace=False)
+        assert serialize_rng_state(serial) == serialize_rng_state(batch_rng)
