@@ -163,6 +163,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="concurrently executing requests")
     serve.add_argument("--queue-limit", type=int, default=32,
                        help="requests allowed to wait; beyond this -> 503")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="worker processes behind the port (1 = in-process)")
+    serve.add_argument("--batch-window-ms", type=float, default=0.0,
+                       help="cross-request micro-batching window (0 = off)")
     serve.add_argument("--deadline-ms", type=int, default=5000,
                        help="default per-request deadline")
     serve.add_argument("--log-level", default=None,
@@ -376,6 +380,7 @@ def _command_publish(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.serving import InfluenceService, ModelRegistry, ServiceConfig
     from repro.serving.http import make_server
+    from repro.serving.replica import ReplicaConfig, ReplicaSet
 
     if args.log_level is not None or args.log_json:
         configure_logging(args.log_level or "info", json_lines=args.log_json)
@@ -385,35 +390,65 @@ def _command_serve(args: argparse.Namespace) -> int:
         version = registry.latest(args.name)
     artifact = registry.load(args.name, version)
     graph = load_dataset(args.dataset, scale=args.scale)
-    service = InfluenceService(
-        artifact,
-        graph,
-        model_name=args.name,
-        model_version=version,
-        config=ServiceConfig(
-            max_inflight=args.max_inflight,
-            queue_limit=args.queue_limit,
-            default_deadline=args.deadline_ms / 1000.0,
-        ),
+    service_config = ServiceConfig(
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue_limit,
+        default_deadline=args.deadline_ms / 1000.0,
+        batch_window_ms=args.batch_window_ms,
     )
-    server = make_server(
-        service, host=args.host, port=args.port, registry=registry
-    )
-    host, port = server.server_address[:2]
+
+    def build_service() -> InfluenceService:
+        return InfluenceService(
+            artifact,
+            graph,
+            model_name=args.name,
+            model_version=version,
+            config=service_config,
+        )
+
     privacy = artifact.privacy
     eps = "inf" if privacy.epsilon == float("inf") else f"{privacy.epsilon:.4f}"
     print(f"serving        : {args.name} v{version} ({artifact.method})")
     print(f"privacy        : eps={eps} delta={privacy.delta:.2e} "
           "(inference spends no additional budget)")
     print(f"graph          : {args.dataset} (|V|={graph.num_nodes})")
-    print(f"listening      : http://{host}:{port}", flush=True)
 
     def _request_shutdown(signum, frame):
+        # Disarm before raising: a second SIGTERM while the drain is in
+        # progress would otherwise raise *inside* the cleanup and abort
+        # it half way (workers reaped but no clean-exit report).
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
         raise KeyboardInterrupt
 
     # SIGTERM drains like Ctrl-C — background jobs in non-interactive
     # shells (CI) inherit SIGINT ignored, so plain `kill` must also work.
     signal.signal(signal.SIGTERM, _request_shutdown)
+
+    if args.replicas > 1:
+        replica_set = ReplicaSet(
+            lambda: (build_service(), registry),
+            ReplicaConfig(
+                replicas=args.replicas, host=args.host, port=args.port
+            ),
+        )
+        replica_set.start()
+        print(f"replicas       : {args.replicas} ({replica_set.mode})")
+        print(f"listening      : {replica_set.url}", flush=True)
+        try:
+            while True:
+                signal.pause()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            replica_set.stop()
+            print("shutdown       : clean")
+        return 0
+
+    server = make_server(
+        build_service(), host=args.host, port=args.port, registry=registry
+    )
+    host, port = server.server_address[:2]
+    print(f"listening      : http://{host}:{port}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -347,6 +347,152 @@ class Graph:
         return self.subgraph(kept)
 
     # ------------------------------------------------------------------ #
+    # Incremental edge mutation (live serving updates)
+    # ------------------------------------------------------------------ #
+    def _validate_edge_delta(
+        self, edges: Sequence[tuple[int, int]] | np.ndarray
+    ) -> np.ndarray:
+        edge_array = np.asarray(edges, dtype=np.int64)
+        if edge_array.size == 0:
+            raise GraphError("edge delta must contain at least one edge")
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise GraphError(
+                f"edges must have shape (E, 2), got {edge_array.shape}"
+            )
+        if edge_array.min() < 0 or edge_array.max() >= self.num_nodes:
+            raise GraphError("edge endpoints must be in [0, num_nodes)")
+        return edge_array
+
+    def add_edges(
+        self,
+        edges: Sequence[tuple[int, int]] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> "Graph":
+        """New graph with ``edges`` added by **incremental CSR merge**.
+
+        Each new arc is spliced into the end of its source bucket of the
+        existing out-CSR (and its target bucket of the in-CSR) — no global
+        re-sort, so the cost is O(E + delta) instead of O(E log E).  The
+        result is identical to rebuilding from the concatenated edge list
+        (``_build_csr``'s stable sort puts appended edges after existing
+        ones in the same bucket).
+
+        For undirected graphs each edge materialises both arc directions,
+        mirroring the constructor.  Arcs already present (or duplicated
+        within the delta) are rejected — live updates must be explicit
+        about replacing an edge (remove, then add).
+        """
+        edge_array = self._validate_edge_delta(edges)
+        if weights is None:
+            weight_array = np.ones(len(edge_array), dtype=np.float64)
+        else:
+            weight_array = np.asarray(weights, dtype=np.float64)
+            if weight_array.shape != (len(edge_array),):
+                raise GraphError(
+                    f"weights must have shape ({len(edge_array)},), "
+                    f"got {weight_array.shape}"
+                )
+            if weight_array.min() < 0 or weight_array.max() > 1:
+                raise GraphError(
+                    "edge weights must be influence probabilities in [0, 1]"
+                )
+        if not self.is_directed:
+            edge_array = np.concatenate([edge_array, edge_array[:, ::-1]], axis=0)
+            weight_array = np.concatenate([weight_array, weight_array])
+        unique_rows, first_index = np.unique(edge_array, axis=0, return_index=True)
+        if not self.is_directed:
+            # Both directions of a self-loop collapse to one arc.
+            edge_array = unique_rows
+            weight_array = weight_array[first_index]
+        elif len(unique_rows) != len(edge_array):
+            raise GraphError("edge delta contains duplicate arcs")
+        for source, target in edge_array:
+            if self.has_edge(int(source), int(target)):
+                raise GraphError(
+                    f"arc ({int(source)}, {int(target)}) already present; "
+                    "remove it before re-adding"
+                )
+
+        def merged(indptr, indices, csr_weights, bucket_of, other_of):
+            order = np.argsort(bucket_of, kind="stable")
+            buckets = bucket_of[order]
+            positions = indptr[buckets + 1]
+            new_indices = np.insert(indices, positions, other_of[order])
+            new_weights = np.insert(csr_weights, positions, weight_array[order])
+            delta_counts = np.bincount(buckets, minlength=self.num_nodes)
+            new_indptr = indptr + np.concatenate(
+                [[0], np.cumsum(delta_counts)]
+            )
+            return new_indptr, new_indices, new_weights
+
+        sources, targets = edge_array[:, 0], edge_array[:, 1]
+        out_csr = merged(
+            self._out_indptr, self._out_indices, self._out_weights,
+            sources, targets,
+        )
+        in_csr = merged(
+            self._in_indptr, self._in_indices, self._in_weights,
+            targets, sources,
+        )
+        return Graph.from_csr(
+            self.num_nodes, out_csr, in_csr, directed=self.is_directed
+        )
+
+    def remove_edges(
+        self, edges: Sequence[tuple[int, int]] | np.ndarray
+    ) -> "Graph":
+        """New graph with ``edges`` removed by **incremental CSR filter**.
+
+        Every listed arc must be present (missing arcs raise
+        :class:`GraphError` before anything is rebuilt); undirected graphs
+        drop both arc directions of each edge.  Like :meth:`add_edges`
+        this never re-sorts: surviving arcs keep their relative CSR order,
+        so remove-then-re-add moves an arc to the end of its bucket (a new
+        content fingerprint, same adjacency).
+        """
+        edge_array = self._validate_edge_delta(edges)
+        if not self.is_directed:
+            edge_array = np.concatenate([edge_array, edge_array[:, ::-1]], axis=0)
+            edge_array = np.unique(edge_array, axis=0)
+
+        def filtered(indptr, indices, csr_weights, bucket_of, other_of):
+            keep = np.ones(len(indices), dtype=bool)
+            for bucket, other in zip(bucket_of, other_of):
+                start, stop = indptr[bucket], indptr[bucket + 1]
+                hits = np.flatnonzero(
+                    (indices[start:stop] == other) & keep[start:stop]
+                )
+                if hits.size == 0:
+                    raise GraphError(
+                        f"arc ({int(bucket) if bucket_of is sources else int(other)}, "
+                        f"{int(other) if bucket_of is sources else int(bucket)}) "
+                        "is not present"
+                    )
+                # Duplicate arcs: drop the earliest-inserted copy, which is
+                # the first in-bucket occurrence in *both* CSR directions.
+                keep[start + hits[0]] = False
+            kept_buckets = np.repeat(
+                np.arange(self.num_nodes, dtype=np.int64), np.diff(indptr)
+            )[keep]
+            counts = np.bincount(kept_buckets, minlength=self.num_nodes)
+            new_indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+            np.cumsum(counts, out=new_indptr[1:])
+            return new_indptr, indices[keep], csr_weights[keep]
+
+        sources, targets = edge_array[:, 0], edge_array[:, 1]
+        out_csr = filtered(
+            self._out_indptr, self._out_indices, self._out_weights,
+            sources, targets,
+        )
+        in_csr = filtered(
+            self._in_indptr, self._in_indices, self._in_weights,
+            targets, sources,
+        )
+        return Graph.from_csr(
+            self.num_nodes, out_csr, in_csr, directed=self.is_directed
+        )
+
+    # ------------------------------------------------------------------ #
     # Dense export (small graphs only)
     # ------------------------------------------------------------------ #
     def adjacency_matrix(self) -> np.ndarray:

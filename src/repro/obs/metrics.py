@@ -22,6 +22,7 @@ observability layer costs nothing on the hot path.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable
 
@@ -36,29 +37,39 @@ __all__ = [
 
 
 class Counter:
-    """Monotonically increasing integer."""
+    """Monotonically increasing integer.
 
-    __slots__ = ("value",)
+    ``inc`` is thread-safe: the serving layer increments request and cache
+    counters from one handler thread per connection, and the bare
+    ``value += amount`` read-modify-write loses increments under
+    contention.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """Last-written value plus how many times it was set."""
+    """Last-written value plus how many times it was set (thread-safe)."""
 
-    __slots__ = ("value", "updates")
+    __slots__ = ("value", "updates", "_lock")
 
     def __init__(self) -> None:
         self.value: float | None = None
         self.updates = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
-        self.updates += 1
+        with self._lock:
+            self.value = float(value)
+            self.updates += 1
 
 
 class Histogram:
@@ -72,7 +83,9 @@ class Histogram:
     #: Ring-buffer capacity backing :meth:`quantile`.
     SAMPLE_LIMIT = 1024
 
-    __slots__ = ("count", "total", "minimum", "maximum", "_samples", "_cursor")
+    __slots__ = (
+        "count", "total", "minimum", "maximum", "_samples", "_cursor", "_lock"
+    )
 
     def __init__(self) -> None:
         self.count = 0
@@ -81,20 +94,22 @@ class Histogram:
         self.maximum = float("-inf")
         self._samples: list[float] = []
         self._cursor = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
-        if len(self._samples) < self.SAMPLE_LIMIT:
-            self._samples.append(value)
-        else:
-            self._samples[self._cursor] = value
-            self._cursor = (self._cursor + 1) % self.SAMPLE_LIMIT
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+            if len(self._samples) < self.SAMPLE_LIMIT:
+                self._samples.append(value)
+            else:
+                self._samples[self._cursor] = value
+                self._cursor = (self._cursor + 1) % self.SAMPLE_LIMIT
 
     def quantile(self, q: float) -> float:
         """The ``q``-quantile (``0 <= q <= 1``) of the sample reservoir.
@@ -104,9 +119,10 @@ class Histogram:
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q must be in [0, 1], got {q}")
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
         position = q * (len(ordered) - 1)
         low = int(position)
         high = min(low + 1, len(ordered) - 1)
@@ -188,43 +204,62 @@ class Span:
         if registry is not None:
             registry._span_stack.pop()
             registry.histogram(f"span.{self.path}").observe(self.seconds)
-            registry.span_log.append((self.path, self.seconds))
+            with registry._lock:
+                registry.span_log.append((self.path, self.seconds))
             if self._sink is not None:
                 self._sink(self)
 
 
 class MetricsRegistry:
-    """Named counters, gauges, histograms, and the active span stack."""
+    """Named counters, gauges, histograms, and the active span stack.
+
+    Instrument lookup/creation and the span log are lock-protected, and
+    the span stack is **per-thread**: the serving layer opens spans from
+    one handler thread per connection, and a shared stack would interleave
+    unrelated requests into each other's nesting paths.
+    """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = bool(enabled)
+        self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
-        self._span_stack: list[Span] = []
+        self._span_local = threading.local()
         #: ``(path, seconds)`` of every completed span, in completion order.
         self.span_log: list[tuple[str, float]] = []
+
+    @property
+    def _span_stack(self) -> list[Span]:
+        """The calling thread's span stack (nesting never crosses threads)."""
+        stack = getattr(self._span_local, "stack", None)
+        if stack is None:
+            stack = self._span_local.stack = []
+        return stack
 
     def counter(self, name: str) -> Counter:
         if not self.enabled:
             return _NULL_COUNTER
-        if name not in self._counters:
-            self._counters[name] = Counter()
-        return self._counters[name]
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter()
+            return self._counters[name]
 
     def gauge(self, name: str) -> Gauge:
         if not self.enabled:
             return _NULL_GAUGE
-        if name not in self._gauges:
-            self._gauges[name] = Gauge()
-        return self._gauges[name]
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge()
+            return self._gauges[name]
 
     def histogram(self, name: str) -> Histogram:
         if not self.enabled:
             return _NULL_HISTOGRAM
-        if name not in self._histograms:
-            self._histograms[name] = Histogram()
-        return self._histograms[name]
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram()
+            return self._histograms[name]
 
     def span(self, name: str, sink: Callable[[Span], None] | None = None) -> Span:
         """A new named span; records into the registry only when enabled."""
@@ -232,20 +267,25 @@ class MetricsRegistry:
 
     def histograms(self) -> dict[str, Histogram]:
         """Read-only view of every named histogram (for exporters)."""
-        return dict(self._histograms)
+        with self._lock:
+            return dict(self._histograms)
 
     def span_seconds(self, path: str) -> float:
         """Total wall time of all completed spans with exactly ``path``."""
-        return float(sum(seconds for name, seconds in self.span_log if name == path))
+        with self._lock:
+            log = list(self.span_log)
+        return float(sum(seconds for name, seconds in log if name == path))
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-able dump of every instrument."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
         return {
-            "counters": {name: c.value for name, c in self._counters.items()},
-            "gauges": {name: g.value for name, g in self._gauges.items()},
-            "histograms": {
-                name: h.summary() for name, h in self._histograms.items()
-            },
+            "counters": {name: c.value for name, c in counters.items()},
+            "gauges": {name: g.value for name, g in gauges.items()},
+            "histograms": {name: h.summary() for name, h in histograms.items()},
         }
 
 

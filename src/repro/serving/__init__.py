@@ -6,7 +6,7 @@ inference on a DP-trained model spends **no additional ε** — the privacy
 budget was consumed during training and the released weights are the
 (ε, δ)-DP output — so serving is privacy-free by construction.
 
-Four dependency-free layers:
+Six dependency-free layers:
 
 * :mod:`repro.serving.registry` — versioned on-disk artifacts bundling the
   trained weights, :class:`~repro.gnn.models.GNNConfig`, the frozen
@@ -16,20 +16,30 @@ Four dependency-free layers:
 * :mod:`repro.serving.engine` — loads an artifact once and answers
   ``score_nodes`` / ``top_k_seeds`` / ``estimate_spread`` with cached
   per-graph degree features (keyed by a content fingerprint), an LRU
-  result cache, and single-flight coalescing of concurrent requests.
+  result cache, single-flight coalescing of concurrent requests, and
+  selective per-fingerprint invalidation for live graph mutations.
+* :mod:`repro.serving.batch` — cross-request micro-batching: distinct
+  cold score/seeds requests arriving within a small window are fused
+  into one forward pass, bit-identical to the unbatched path.
 * :mod:`repro.serving.service` — admission control (bounded queue,
-  per-request deadlines, 503/504 degradation instead of hangs) plus
-  per-request metrics.
+  per-request deadlines, 503/504 degradation instead of hangs),
+  live graph mutations with atomic fingerprint swap, plus per-request
+  metrics.
 * :mod:`repro.serving.http` — a threaded stdlib JSON API
   (``/healthz``, ``/metrics``, ``/v1/score``, ``/v1/seeds``,
-  ``/v1/spread``, ``/v1/models``).
+  ``/v1/spread``, ``/v1/models``, ``/v1/graph/edges``).
+* :mod:`repro.serving.replica` — a multi-process replica set behind a
+  stdlib router: N worker processes each running the HTTP server, with
+  health checks, crash detection, and respawn under a restart budget.
 
 See ``docs/serving.md`` for the artifact format and endpoint reference.
 """
 
 from __future__ import annotations
 
+from repro.serving.batch import MicroBatcher
 from repro.serving.engine import ScoringEngine, graph_fingerprint
+from repro.serving.http import LengthRequired, PayloadTooLarge
 from repro.serving.registry import (
     ModelArtifact,
     ModelRegistry,
@@ -37,6 +47,7 @@ from repro.serving.registry import (
     load_artifact,
     save_artifact,
 )
+from repro.serving.replica import ReplicaConfig, ReplicaSet
 from repro.serving.service import (
     BadRequest,
     DeadlineExceeded,
@@ -49,9 +60,14 @@ __all__ = [
     "BadRequest",
     "DeadlineExceeded",
     "InfluenceService",
+    "LengthRequired",
+    "MicroBatcher",
     "ModelArtifact",
     "ModelRegistry",
+    "PayloadTooLarge",
     "PrivacyProvenance",
+    "ReplicaConfig",
+    "ReplicaSet",
     "ScoringEngine",
     "ServiceConfig",
     "ServiceUnavailable",

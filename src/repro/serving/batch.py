@@ -1,0 +1,239 @@
+"""Cross-request micro-batching: distinct requests, one forward pass.
+
+The engine's single-flight coalescing (PR 4) fuses concurrent requests
+for the *same* uncached score vector.  This module generalises it to
+**distinct** requests: score and seeds queries that arrive within a small
+window (or up to a batch-size cap) are collected into one batch, the
+batch leader runs a single fused forward pass over the union of the
+requested nodes — the engine computes the full per-node vector, which is
+exactly that union — and every member's answer is then derived from the
+shared vector.
+
+Guarantees:
+
+* **Bit-identity** — members are answered through the very same engine
+  calls the unbatched path uses (``score_nodes`` slices the one cached
+  vector, ``top_k_seeds`` applies the same tie-break), after the leader
+  warmed the vector with one ``scores`` call.  Fusion changes *when* the
+  forward pass runs, never *what* any request returns, and the engine's
+  result LRU is populated identically.
+* **Deadlines honored** — a request is held for at most half its
+  deadline budget (a joining request with a tight deadline flushes the
+  batch early, leaving the other half for the forward pass), members
+  whose deadline passed before execution get a deadline error instead of
+  a stale answer, and a waiter gives up (504) if the leader does not
+  deliver in time.
+* **Warm bypass** — requests whose score vector is already cached skip
+  the window entirely; batching only ever delays work that needs a
+  forward pass, so the warm path pays zero added latency.
+
+``engine.forward_passes`` is the proof of fusion: a burst of N distinct
+cold requests through the batcher costs exactly one pass.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+from repro.graphs.graph import Graph
+from repro.obs import Observability, ensure_obs
+from repro.serving.engine import ScoringEngine
+
+__all__ = ["BatchItem", "MicroBatcher"]
+
+
+class DeadlineExceededInBatch(Exception):
+    """Internal marker; the service maps it onto its own 504 exception."""
+
+
+class BatchItem:
+    """One enqueued request: its work, its deadline, and its outcome."""
+
+    __slots__ = ("label", "graph", "fingerprint", "compute", "deadline_at",
+                 "flush_by", "event", "result", "error")
+
+    def __init__(
+        self,
+        label: str,
+        graph: Graph,
+        fingerprint: str,
+        compute: Callable[[], Any],
+        deadline: float,
+        now: float,
+    ) -> None:
+        self.label = label
+        self.graph = graph
+        self.fingerprint = fingerprint
+        self.compute = compute
+        self.deadline_at = now + deadline
+        #: the batcher may hold this request at most half its deadline
+        #: budget — the other half is reserved for the forward pass, so a
+        #: request whose deadline undercuts the window isn't flushed so
+        #: late that it can only ever time out.
+        self.flush_by = now + deadline / 2.0
+        self.event = threading.Event()
+        self.result: Any = None
+        self.error: Exception | None = None
+
+
+class MicroBatcher:
+    """Fuses cold score/seeds requests into shared forward passes.
+
+    Args:
+        engine: the scoring engine requests are answered from.
+        window: seconds the first (leader) request of a batch waits for
+            companions before executing.  Small — the point is to catch a
+            burst in flight, not to trade latency for throughput.
+        max_batch: the batch executes immediately once this many requests
+            joined, regardless of the window.
+        obs: observability bundle; batch sizes and fused-request counts
+            land under ``serve.batch.*``.
+    """
+
+    def __init__(
+        self,
+        engine: ScoringEngine,
+        *,
+        window: float = 0.002,
+        max_batch: int = 32,
+        obs: Observability | None = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.engine = engine
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self.obs = ensure_obs(obs)
+        self._cond = threading.Condition()
+        #: the batch currently collecting members (None = no open batch).
+        self._open: list[BatchItem] | None = None
+        #: fused forward batches executed (each cost one pass per graph).
+        self.batches = 0
+        #: requests answered through a batch they did not lead.
+        self.fused = 0
+
+    # ------------------------------------------------------------------ #
+    def submit_score(
+        self,
+        graph: Graph,
+        fingerprint: str,
+        nodes: Sequence[int] | None,
+        deadline: float,
+    ):
+        """Scores for ``nodes`` — batched when the vector is cold."""
+        return self._submit(
+            "score",
+            graph,
+            fingerprint,
+            lambda: self.engine.score_nodes(graph, nodes, fingerprint=fingerprint),
+            deadline,
+        )
+
+    def submit_seeds(
+        self,
+        graph: Graph,
+        fingerprint: str,
+        k: int,
+        rng,
+        deadline: float,
+    ):
+        """Top-``k`` seeds — batched when the vector is cold."""
+        return self._submit(
+            "seeds",
+            graph,
+            fingerprint,
+            lambda: self.engine.top_k_seeds(graph, k, rng=rng, fingerprint=fingerprint),
+            deadline,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _submit(
+        self,
+        label: str,
+        graph: Graph,
+        fingerprint: str,
+        compute: Callable[[], Any],
+        deadline: float,
+    ):
+        if self.engine.scores_cached(fingerprint):
+            # Warm path: the forward pass already happened; batching could
+            # only add latency.  Answer directly.
+            return compute()
+        item = BatchItem(
+            label, graph, fingerprint, compute, deadline, time.monotonic()
+        )
+        with self._cond:
+            if self._open is None:
+                self._open = [item]
+                self._run_leader()
+            else:
+                self._open.append(item)
+                self.fused += 1
+                self._cond.notify_all()  # wake the leader to re-check cap/deadline
+        if not item.event.wait(timeout=max(0.0, item.deadline_at - time.monotonic()) + 1.0):
+            raise DeadlineExceededInBatch(
+                f"{label}: batch leader did not deliver within the deadline"
+            )
+        if item.error is not None:
+            raise item.error
+        return item.result
+
+    def _run_leader(self) -> None:
+        """Collect companions, then execute.  Called with the lock held."""
+        window_end = time.monotonic() + self.window
+        while True:
+            batch = self._open
+            earliest = min(member.flush_by for member in batch)
+            flush_at = min(window_end, earliest)
+            remaining = flush_at - time.monotonic()
+            if len(batch) >= self.max_batch or remaining <= 0:
+                break
+            self._cond.wait(timeout=remaining)
+        batch = self._open
+        self._open = None
+        self._cond.release()
+        try:
+            self._execute(batch)
+        finally:
+            self._cond.acquire()
+
+    def _execute(self, batch: list[BatchItem]) -> None:
+        """One fused pass per distinct fingerprint, then per-member answers."""
+        self.batches += 1
+        self.obs.counter("serve.batch.batches").inc()
+        self.obs.metrics.histogram("serve.batch.size").observe(len(batch))
+        warm_errors: dict[str, Exception] = {}
+        warmed: set[str] = set()
+        for member in batch:
+            try:
+                if member.fingerprint in warm_errors:
+                    raise warm_errors[member.fingerprint]
+                if member.fingerprint not in warmed:
+                    # The fused forward pass: one `scores` call computes
+                    # the union vector every member slices or ranks.
+                    with self.obs.span("serve.batch.forward"):
+                        self.engine.scores(
+                            member.graph, fingerprint=member.fingerprint
+                        )
+                    warmed.add(member.fingerprint)
+                if time.monotonic() > member.deadline_at:
+                    raise DeadlineExceededInBatch(
+                        f"{member.label}: deadline passed while batched"
+                    )
+                member.result = member.compute()
+            except Exception as error:  # noqa: BLE001 - delivered to the waiter
+                member.error = error
+                if not isinstance(error, DeadlineExceededInBatch):
+                    warm_errors.setdefault(member.fingerprint, error)
+            finally:
+                member.event.set()
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, int]:
+        """JSON-safe fusion counters (surfaced by ``/metrics``)."""
+        with self._cond:
+            return {"batches": self.batches, "fused": self.fused}

@@ -89,6 +89,17 @@ class _LRUCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def pop(self, key: Hashable) -> bool:
+        """Drop ``key`` if present; returns whether an entry was removed."""
+        return self._entries.pop(key, None) is not None
+
+    def pop_where(self, predicate) -> int:
+        """Drop every entry whose key satisfies ``predicate``; returns count."""
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -162,6 +173,16 @@ class ScoringEngine:
             self._features.put(key, computed)
         return computed
 
+    def scores_cached(self, fingerprint: str) -> bool:
+        """Whether the score vector for ``fingerprint`` is resident.
+
+        A pure peek: no hit/miss accounting, no LRU reordering.  The
+        micro-batcher uses it to route warm requests around the batching
+        window.
+        """
+        with self._lock:
+            return fingerprint in self._scores._entries
+
     def scores(self, graph: Graph, *, fingerprint: str | None = None) -> np.ndarray:
         """The full per-node score vector, cached and single-flighted.
 
@@ -182,8 +203,11 @@ class ScoringEngine:
                     event = threading.Event()
                     self._inflight[key] = event
                     break
-            # A leader is already computing this vector: wait, re-check.
-            self.coalesced += 1
+                # A leader is already computing this vector: count the
+                # coalesced wait *under the lock* — the bare += is a
+                # read-modify-write that loses increments when several
+                # waiters race, silently under-reporting coalescing.
+                self.coalesced += 1
             self.obs.counter("serve.engine.scores.coalesced").inc()
             waiter.wait()
         try:
@@ -312,6 +336,29 @@ class ScoringEngine:
         )
 
     # ------------------------------------------------------------------ #
+    def invalidate(self, fingerprint: str) -> dict[str, int]:
+        """Selective invalidation after a live graph mutation.
+
+        Drops exactly the entries keyed by ``fingerprint`` — the degree
+        feature rows, the score vector, and any request results whose key
+        embeds that fingerprint — and nothing else, so warm results for
+        other graphs survive an unrelated update.  Returns how many
+        entries each tier lost (what the mutation endpoint reports).
+        """
+        with self._lock:
+            dropped = {
+                "features": int(self._features.pop(fingerprint)),
+                "scores": int(self._scores.pop(fingerprint)),
+                # Result keys are ("seeds"|"spread", fingerprint, ...).
+                "results": self._results.pop_where(
+                    lambda key: isinstance(key, tuple)
+                    and len(key) > 1
+                    and key[1] == fingerprint
+                ),
+            }
+        self.obs.counter("serve.engine.invalidations").inc()
+        return dropped
+
     def stats(self) -> dict[str, Any]:
         """JSON-safe cache and coalescing counters."""
         with self._lock:

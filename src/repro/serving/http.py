@@ -1,27 +1,34 @@
 """Dependency-free threaded HTTP JSON API over an :class:`InfluenceService`.
 
 Built on ``http.server.ThreadingHTTPServer`` — one daemon thread per
-connection, no third-party framework.  Endpoints:
+connection, no third-party framework.  Endpoints (GET paths ignore any
+query string — ``/healthz?probe=1`` is ``/healthz``):
 
-==========  ======  ====================================================
-Path        Method  Meaning
-==========  ======  ====================================================
-/healthz    GET     liveness + served-model coordinates
-/metrics    GET     counters, latency p50/p95, queue depth, cache stats
-/v1/models  GET     registry listing (names, versions, privacy)
-/v1/score   POST    ``{"nodes": [...]?}`` → per-node scores
-/v1/seeds   POST    ``{"k": int}`` → top-k seed set
-/v1/spread  POST    ``{"seeds": [...], "diffusion": "ic"?}`` → spread
-==========  ======  ====================================================
+===============  ======  ====================================================
+Path             Method  Meaning
+===============  ======  ====================================================
+/healthz         GET     liveness + served-model coordinates
+/metrics         GET     counters, latency p50/p95, queue depth, cache stats
+/v1/models       GET     registry listing (names, versions, privacy)
+/v1/score        POST    ``{"nodes": [...]?}`` → per-node scores
+/v1/seeds        POST    ``{"k": int}`` → top-k seed set
+/v1/spread       POST    ``{"seeds": [...], "diffusion": "ic"?}`` → spread
+/v1/graph/edges  POST    ``{"op": "add"|"remove", "edges": [[u,v],...]}``
+                         → live mutation + selective cache invalidation
+===============  ======  ====================================================
 
-Error mapping: malformed payloads → 400, unknown paths → 404, oversized
-bodies → 413, saturation → 503 with a ``Retry-After`` header, missed
-deadlines → 504, anything unexpected → 500.  Every response body is JSON.
+Error mapping: malformed payloads → 400, unknown paths → 404, missing
+``Content-Length`` (or unsupported ``Transfer-Encoding``) → 411,
+oversized bodies → 413, saturation → 503 with a ``Retry-After`` header,
+missed deadlines → 504, anything unexpected → 500.  Every response body
+is JSON.  The 411 and 413 rejections close the connection: the unread
+body bytes would otherwise desynchronise HTTP/1.1 keep-alive framing.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
@@ -34,10 +41,30 @@ from repro.serving.service import (
     ServiceUnavailable,
 )
 
-__all__ = ["InfluenceHTTPServer", "make_server", "MAX_BODY_BYTES"]
+__all__ = [
+    "InfluenceHTTPServer",
+    "LengthRequired",
+    "PayloadTooLarge",
+    "make_server",
+    "MAX_BODY_BYTES",
+]
 
-#: Request bodies above this are rejected with 413 before being read fully.
+#: Request bodies above this are rejected with 413 before being read.
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class PayloadTooLarge(Exception):
+    """Declared request body exceeds :data:`MAX_BODY_BYTES` (HTTP 413)."""
+
+
+class LengthRequired(Exception):
+    """Body framing the server cannot parse safely (HTTP 411).
+
+    Raised for a POST without ``Content-Length`` and for any
+    ``Transfer-Encoding`` (chunked bodies are unsupported): guessing the
+    body length would leave unread bytes on a keep-alive connection, and
+    the *next* request would be parsed from the middle of this one's body.
+    """
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -45,28 +72,66 @@ class _Handler(BaseHTTPRequestHandler):
 
     server: "InfluenceHTTPServer"
     protocol_version = "HTTP/1.1"
+    #: headers and body are written as separate TCP segments; without
+    #: TCP_NODELAY, Nagle holds the body until the client ACKs the
+    #: headers, and the client's delayed ACK turns every keep-alive
+    #: response into a ~40ms stall.
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------ #
     def _send_json(
         self, status: int, payload: dict[str, Any], headers: dict[str, str] | None = None
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-response.  Its answer is gone either
+            # way; don't let the handler thread dump a traceback, just
+            # drop the dead connection.
+            self.close_connection = True
+            self.server.service.obs.counter("serve.client_disconnects").inc()
 
     def _send_error(self, status: int, message: str, **headers: str) -> None:
         self.server.service.obs.counter(f"serve.responses.{status}").inc()
         self._send_json(status, {"error": message, "status": status}, headers)
 
     def _read_payload(self) -> dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
+        if self.headers.get("Transfer-Encoding"):
+            # Chunked (or any transfer-coded) bodies are unsupported;
+            # pretending the body is empty would desync keep-alive.
+            self.close_connection = True
+            raise LengthRequired(
+                "Transfer-Encoding is not supported; send Content-Length"
+            )
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            self.close_connection = True
+            raise LengthRequired("POST requires a Content-Length header")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            self.close_connection = True
+            raise BadRequest(
+                f"Content-Length must be an integer, got {raw_length!r}"
+            ) from None
+        if length < 0:
+            self.close_connection = True
+            raise BadRequest(f"Content-Length must be >= 0, got {length}")
         if length > MAX_BODY_BYTES:
-            raise BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
+            # Reject before reading: the body stays unread, so the
+            # connection must close (413, not the 400 the docstring
+            # contract never promised).
+            self.close_connection = True
+            raise PayloadTooLarge(
+                f"request body of {length} bytes exceeds {MAX_BODY_BYTES}"
+            )
         raw = self.rfile.read(length) if length else b""
         if not raw:
             return {}
@@ -84,6 +149,10 @@ class _Handler(BaseHTTPRequestHandler):
             result = fn()
         except BadRequest as error:
             self._send_error(400, str(error))
+        except LengthRequired as error:
+            self._send_error(411, str(error))
+        except PayloadTooLarge as error:
+            self._send_error(413, str(error))
         except ServiceUnavailable as error:
             self._send_error(
                 503, str(error), **{"Retry-After": f"{error.retry_after:.0f}"}
@@ -97,14 +166,20 @@ class _Handler(BaseHTTPRequestHandler):
             service.obs.counter("serve.responses.200").inc()
             self._send_json(200, result)
 
+    @property
+    def _route_path(self) -> str:
+        """Request path with any query string split off for routing."""
+        return self.path.split("?", 1)[0]
+
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         service = self.server.service
-        if self.path == "/healthz":
+        path = self._route_path
+        if path == "/healthz":
             self._dispatch(service.health)
-        elif self.path == "/metrics":
+        elif path == "/metrics":
             self._dispatch(service.metrics)
-        elif self.path == "/v1/models":
+        elif path == "/v1/models":
             self._dispatch(self.server.describe_models)
         else:
             self._send_error(404, f"unknown path {self.path!r}")
@@ -115,8 +190,9 @@ class _Handler(BaseHTTPRequestHandler):
             "/v1/score": service.score,
             "/v1/seeds": service.seeds,
             "/v1/spread": service.spread,
+            "/v1/graph/edges": service.mutate_edges,
         }
-        handler = routes.get(self.path)
+        handler = routes.get(self._route_path)
         if handler is None:
             self._send_error(404, f"unknown path {self.path!r}")
             return
@@ -146,10 +222,39 @@ class InfluenceHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: InfluenceService,
         registry: ModelRegistry | None = None,
+        *,
+        sock: socket.socket | None = None,
+        reuse_port: bool = False,
     ) -> None:
+        """Bind to ``address``, or adopt an already-listening ``sock``.
+
+        ``sock`` is the pre-fork replica mode: the router parent binds and
+        listens once, every worker adopts the shared socket and accepts
+        from it.  ``reuse_port`` is the SO_REUSEPORT mode: every worker
+        binds the same port itself and the kernel balances accepts.
+        """
+        self._adopted_socket = sock
+        self._reuse_port = reuse_port
         super().__init__(address, _Handler)
         self.service = service
         self.registry = registry
+
+    def server_bind(self) -> None:
+        if self._adopted_socket is not None:
+            self.socket.close()  # the throwaway socket TCPServer made
+            self.socket = self._adopted_socket
+            self.server_address = self.socket.getsockname()
+            return
+        if self._reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise OSError("SO_REUSEPORT is not available on this platform")
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+    def server_activate(self) -> None:
+        if self._adopted_socket is not None:
+            return  # the adopted socket is already listening
+        super().server_activate()
 
     def describe_models(self) -> dict[str, Any]:
         """``/v1/models`` — the registry listing plus the active model."""

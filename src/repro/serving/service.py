@@ -23,14 +23,16 @@ scoring engine and enforces the capacity contract:
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import TrainingError
+from repro.errors import GraphError, TrainingError
 from repro.graphs.graph import Graph
 from repro.obs import Observability, ensure_obs
+from repro.serving.batch import DeadlineExceededInBatch, MicroBatcher
 from repro.serving.engine import ScoringEngine, graph_fingerprint
 from repro.serving.registry import ModelArtifact
 
@@ -72,6 +74,11 @@ class ServiceConfig:
         retry_after: seconds suggested in 503 responses.
         max_seeds: upper bound on ``k`` per request.
         max_simulations: upper bound on Monte-Carlo repetitions.
+        batch_window_ms: cross-request micro-batching window in
+            milliseconds; ``0`` disables batching (the default — single
+            requests pay no window latency).
+        batch_max_requests: batch executes immediately at this size.
+        max_mutation_edges: upper bound on edges per live-mutation request.
     """
 
     max_inflight: int = 8
@@ -81,6 +88,9 @@ class ServiceConfig:
     retry_after: float = 1.0
     max_seeds: int = 10_000
     max_simulations: int = 10_000
+    batch_window_ms: float = 0.0
+    batch_max_requests: int = 32
+    max_mutation_edges: int = 10_000
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -89,6 +99,14 @@ class ServiceConfig:
             raise TrainingError(f"queue_limit must be >= 0, got {self.queue_limit}")
         if self.default_deadline <= 0 or self.max_deadline <= 0:
             raise TrainingError("deadlines must be positive")
+        if self.batch_window_ms < 0:
+            raise TrainingError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        if self.batch_max_requests < 1:
+            raise TrainingError(
+                f"batch_max_requests must be >= 1, got {self.batch_max_requests}"
+            )
 
 
 class InfluenceService:
@@ -129,10 +147,29 @@ class InfluenceService:
         self.started = time.monotonic()
         self._slots = threading.Semaphore(self.config.max_inflight)
         self._admission_lock = threading.Lock()
+        #: guards the (graph, fingerprint) pair: live mutations swap both
+        #: atomically, and every request snapshots both together so a
+        #: response never mixes one graph's scores with another's identity.
+        self._graph_lock = threading.Lock()
         self._waiting = 0
         self._inflight = 0
+        #: live-mutation counter, echoed by /healthz and /metrics.
+        self._mutations = 0
+        self.batcher: MicroBatcher | None = None
+        if self.config.batch_window_ms > 0:
+            self.batcher = MicroBatcher(
+                self.engine,
+                window=self.config.batch_window_ms / 1000.0,
+                max_batch=self.config.batch_max_requests,
+                obs=self.obs,
+            )
         #: post-shutdown flag: reject new work during graceful drain.
         self._closed = False
+
+    def resident(self) -> tuple[Graph, str]:
+        """The current (graph, fingerprint) pair, read atomically."""
+        with self._graph_lock:
+            return self.graph, self.fingerprint
 
     # ------------------------------------------------------------------ #
     # Admission control
@@ -141,10 +178,18 @@ class InfluenceService:
         raw = payload.get("deadline_ms")
         if raw is None:
             return self.config.default_deadline
+        if isinstance(raw, bool):
+            # bool is an int subclass: `true` would float() to 1ms.
+            raise BadRequest(f"deadline_ms must be a number, got {raw!r}")
         try:
             seconds = float(raw) / 1000.0
         except (TypeError, ValueError):
             raise BadRequest(f"deadline_ms must be a number, got {raw!r}") from None
+        if not math.isfinite(seconds):
+            # NaN slips past `<= 0` (every comparison is False) and then
+            # poisons min() and the semaphore timeout; inf would disable
+            # the deadline entirely.  Both are malformed input, not policy.
+            raise BadRequest(f"deadline_ms must be finite, got {raw!r}")
         if seconds <= 0:
             raise BadRequest(f"deadline_ms must be positive, got {raw!r}")
         return min(seconds, self.config.max_deadline)
@@ -224,97 +269,137 @@ class InfluenceService:
     # ------------------------------------------------------------------ #
     def health(self) -> dict[str, Any]:
         """``/healthz`` — liveness plus the served model's coordinates."""
+        graph, fingerprint = self.resident()
         return {
             "status": "ok" if not self._closed else "draining",
             "uptime_seconds": time.monotonic() - self.started,
-            "graph_nodes": self.graph.num_nodes,
-            "graph_edges": self.graph.num_edges,
+            "graph_nodes": graph.num_nodes,
+            "graph_edges": graph.num_edges,
+            "graph_fingerprint": fingerprint,
+            "graph_mutations": self._mutations,
             **self._provenance(),
         }
 
     def score(self, payload: dict[str, Any]) -> dict[str, Any]:
         """``/v1/score`` — scores for a node list (or every node)."""
         deadline = self._resolve_deadline(payload)
+        graph, fingerprint = self.resident()
         nodes = None
         if payload.get("nodes") is not None:
             nodes = self._int_list(payload, "nodes")
-            if max(nodes) >= self.graph.num_nodes or min(nodes) < 0:
+            if max(nodes) >= graph.num_nodes or min(nodes) < 0:
                 raise BadRequest(
-                    f"node ids must be in [0, {self.graph.num_nodes})"
+                    f"node ids must be in [0, {graph.num_nodes})"
                 )
 
         def work():
-            scores = self.engine.score_nodes(
-                self.graph, nodes, fingerprint=self.fingerprint
-            )
+            if self.batcher is not None:
+                scores = self._batched(
+                    lambda: self.batcher.submit_score(
+                        graph, fingerprint, nodes, deadline
+                    )
+                )
+            else:
+                scores = self.engine.score_nodes(
+                    graph, nodes, fingerprint=fingerprint
+                )
             return [float(value) for value in scores]
 
         scores = self._execute("score", deadline, work)
         return {
-            "nodes": nodes if nodes is not None else list(range(self.graph.num_nodes)),
+            "nodes": nodes if nodes is not None else list(range(graph.num_nodes)),
             "scores": scores,
+            "graph_fingerprint": fingerprint,
             **self._provenance(),
         }
 
     def seeds(self, payload: dict[str, Any]) -> dict[str, Any]:
         """``/v1/seeds`` — the top-``k`` seed set."""
         deadline = self._resolve_deadline(payload)
+        graph, fingerprint = self.resident()
         k = payload.get("k")
         if not isinstance(k, int) or isinstance(k, bool):
             raise BadRequest(f"'k' must be an integer, got {k!r}")
-        if not 1 <= k <= min(self.graph.num_nodes, self.config.max_seeds):
+        if not 1 <= k <= min(graph.num_nodes, self.config.max_seeds):
             raise BadRequest(
                 f"'k' must be in [1, "
-                f"{min(self.graph.num_nodes, self.config.max_seeds)}], got {k}"
+                f"{min(graph.num_nodes, self.config.max_seeds)}], got {k}"
             )
         rng = payload.get("tie_break_seed")
-        if rng is not None and not isinstance(rng, int):
+        if rng is not None and (isinstance(rng, bool) or not isinstance(rng, int)):
+            # bool passes a bare isinstance(rng, int) check and would be
+            # silently cached as seed 0/1 — reject it like any non-integer.
             raise BadRequest(f"'tie_break_seed' must be an integer, got {rng!r}")
 
-        seeds = self._execute(
-            "seeds",
-            deadline,
-            lambda: self.engine.top_k_seeds(
-                self.graph, k, rng=rng, fingerprint=self.fingerprint
-            ),
-        )
-        return {"k": k, "seeds": seeds, **self._provenance()}
+        def work():
+            if self.batcher is not None:
+                return self._batched(
+                    lambda: self.batcher.submit_seeds(
+                        graph, fingerprint, k, rng, deadline
+                    )
+                )
+            return self.engine.top_k_seeds(
+                graph, k, rng=rng, fingerprint=fingerprint
+            )
+
+        seeds = self._execute("seeds", deadline, work)
+        return {
+            "k": k,
+            "seeds": seeds,
+            "graph_fingerprint": fingerprint,
+            **self._provenance(),
+        }
+
+    def _batched(self, submit: Callable[[], Any]) -> Any:
+        """Run a batcher submission, translating its deadline marker."""
+        try:
+            return submit()
+        except DeadlineExceededInBatch as error:
+            self.obs.counter("serve.deadline_exceeded").inc()
+            raise DeadlineExceeded(str(error)) from None
 
     def spread(self, payload: dict[str, Any]) -> dict[str, Any]:
         """``/v1/spread`` — influence spread of a client seed set."""
         deadline = self._resolve_deadline(payload)
+        graph, fingerprint = self.resident()
         seeds = self._int_list(payload, "seeds")
-        if max(seeds) >= self.graph.num_nodes or min(seeds) < 0:
-            raise BadRequest(f"seed ids must be in [0, {self.graph.num_nodes})")
+        if max(seeds) >= graph.num_nodes or min(seeds) < 0:
+            raise BadRequest(f"seed ids must be in [0, {graph.num_nodes})")
         diffusion = payload.get("diffusion", "ic")
         if diffusion not in ("ic", "lt", "sis"):
             raise BadRequest(
                 f"'diffusion' must be one of ic/lt/sis, got {diffusion!r}"
             )
         steps = payload.get("steps", 1)
-        if steps is not None and (not isinstance(steps, int) or steps < 0):
+        if steps is not None and (
+            isinstance(steps, bool) or not isinstance(steps, int) or steps < 0
+        ):
             raise BadRequest(f"'steps' must be a non-negative integer, got {steps!r}")
         simulations = payload.get("num_simulations", 100)
-        if not isinstance(simulations, int) or not (
-            1 <= simulations <= self.config.max_simulations
+        if (
+            isinstance(simulations, bool)
+            or not isinstance(simulations, int)
+            or not (1 <= simulations <= self.config.max_simulations)
         ):
             raise BadRequest(
                 f"'num_simulations' must be in [1, {self.config.max_simulations}], "
                 f"got {simulations!r}"
             )
         seed = payload.get("seed")
-        if seed is not None and not isinstance(seed, int):
+        if seed is not None and (
+            isinstance(seed, bool) or not isinstance(seed, int)
+        ):
             raise BadRequest(f"'seed' must be an integer, got {seed!r}")
 
         def work():
             kwargs = {} if seed is None else {"rng": seed}
             return self.engine.estimate_spread(
-                self.graph,
+                graph,
                 seeds,
                 model=diffusion,
                 steps=steps,
                 num_simulations=simulations,
-                fingerprint=self.fingerprint,
+                fingerprint=fingerprint,
                 **kwargs,
             )
 
@@ -323,6 +408,89 @@ class InfluenceService:
             "seeds": seeds,
             "diffusion": diffusion,
             "spread": spread,
+            "graph_fingerprint": fingerprint,
+            **self._provenance(),
+        }
+
+    def mutate_edges(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """``POST /v1/graph/edges`` — live add/remove of resident edges.
+
+        Rebuilds the CSR incrementally (:meth:`Graph.add_edges` /
+        :meth:`Graph.remove_edges`), recomputes the fingerprint, swaps the
+        (graph, fingerprint) pair atomically, and invalidates exactly the
+        caches keyed by the *old* fingerprint — warm entries for any other
+        graph survive.  In-flight requests that snapshotted the old pair
+        finish against the old graph with the old fingerprint in their
+        response: a response never mixes graph states.
+        """
+        deadline = self._resolve_deadline(payload)
+        op = payload.get("op")
+        if op not in ("add", "remove"):
+            raise BadRequest(f"'op' must be 'add' or 'remove', got {op!r}")
+        raw_edges = payload.get("edges")
+        if not isinstance(raw_edges, (list, tuple)) or not raw_edges:
+            raise BadRequest("'edges' must be a non-empty list of [u, v] pairs")
+        if len(raw_edges) > self.config.max_mutation_edges:
+            raise BadRequest(
+                f"'edges' exceeds the per-request limit of "
+                f"{self.config.max_mutation_edges}"
+            )
+        edges = []
+        for pair in raw_edges:
+            if (
+                not isinstance(pair, (list, tuple))
+                or len(pair) != 2
+                or any(isinstance(end, bool) or not isinstance(end, int)
+                       for end in pair)
+            ):
+                raise BadRequest(
+                    f"'edges' must contain [u, v] integer pairs, got {pair!r}"
+                )
+            edges.append((pair[0], pair[1]))
+        weights = payload.get("weights")
+        if weights is not None:
+            if op != "add":
+                raise BadRequest("'weights' is only valid with op 'add'")
+            if not isinstance(weights, (list, tuple)) or len(weights) != len(edges):
+                raise BadRequest(
+                    "'weights' must be a list the same length as 'edges'"
+                )
+            try:
+                weights = [float(value) for value in weights]
+            except (TypeError, ValueError):
+                raise BadRequest(
+                    f"'weights' must contain numbers, got {weights!r}"
+                ) from None
+
+        def work():
+            with self._graph_lock:
+                old_fingerprint = self.fingerprint
+                try:
+                    if op == "add":
+                        mutated = self.graph.add_edges(edges, weights=weights)
+                    else:
+                        mutated = self.graph.remove_edges(edges)
+                except GraphError as error:
+                    raise BadRequest(str(error)) from None
+                new_fingerprint = graph_fingerprint(mutated)
+                self.graph = mutated
+                self.fingerprint = new_fingerprint
+                self._mutations += 1
+            dropped = self.engine.invalidate(old_fingerprint)
+            self.obs.counter(f"serve.graph.mutations.{op}").inc()
+            return old_fingerprint, new_fingerprint, dropped, mutated
+
+        old_fingerprint, new_fingerprint, dropped, mutated = self._execute(
+            "mutate", deadline, work
+        )
+        return {
+            "op": op,
+            "edges": len(edges),
+            "graph_nodes": mutated.num_nodes,
+            "graph_edges": mutated.num_edges,
+            "old_fingerprint": old_fingerprint,
+            "graph_fingerprint": new_fingerprint,
+            "invalidated": dropped,
             **self._provenance(),
         }
 
@@ -351,6 +519,8 @@ class InfluenceService:
             "counters": snapshot["counters"],
             "latency": latency,
             "engine": self.engine.stats(),
+            "batching": self.batcher.stats() if self.batcher is not None else None,
+            "graph_mutations": self._mutations,
             **self._provenance(),
         }
 

@@ -305,3 +305,104 @@ class TestEdgeViewMemoization:
         assert Graph(3, []).has_unit_weights
         # Cached: repeated access returns the same answer without rescans.
         assert tiny_graph.has_unit_weights
+
+
+class TestIncrementalEdgeMutation:
+    """add_edges / remove_edges: the live-serving CSR delta path."""
+
+    def test_directed_add_matches_full_rebuild(self, tiny_graph):
+        added = tiny_graph.add_edges([(4, 0), (1, 3)])
+        rebuilt = Graph(
+            5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]
+        )
+        assert added == rebuilt
+
+    def test_directed_add_with_weights(self, tiny_graph):
+        added = tiny_graph.add_edges([(4, 0)], weights=[0.25])
+        position = list(added.out_neighbors(4)).index(0)
+        assert added.out_weights(4)[position] == 0.25
+
+    def test_undirected_add_materialises_both_arcs(self):
+        graph = Graph(4, [(0, 1), (1, 2)], directed=False)
+        added = graph.add_edges([(2, 3)])
+        assert added.has_edge(2, 3) and added.has_edge(3, 2)
+        assert added == Graph(4, [(0, 1), (1, 2), (2, 3)], directed=False)
+
+    def test_remove_matches_full_rebuild(self, tiny_graph):
+        removed = tiny_graph.remove_edges([(0, 2), (3, 4)])
+        assert removed == Graph(5, [(0, 1), (1, 2), (2, 3)])
+
+    def test_undirected_remove_drops_both_arcs(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)], directed=False)
+        removed = graph.remove_edges([(2, 1)])  # either orientation works
+        assert not removed.has_edge(1, 2) and not removed.has_edge(2, 1)
+        assert removed == Graph(4, [(0, 1), (2, 3)], directed=False)
+
+    def test_add_remove_round_trip_preserves_adjacency(self, tiny_graph):
+        round_trip = tiny_graph.add_edges([(4, 0)]).remove_edges([(4, 0)])
+        assert round_trip == tiny_graph
+
+    def test_remove_then_re_add_changes_fingerprint_not_adjacency(self):
+        from repro.serving.engine import graph_fingerprint
+
+        graph = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        cycled = graph.remove_edges([(0, 2)]).add_edges([(0, 2)], weights=[1.0])
+        for node in range(4):  # same adjacency (order-insensitive)...
+            assert sorted(cycled.out_neighbors(node)) == sorted(
+                graph.out_neighbors(node)
+            )
+        # ...but the arc moved to the end of its CSR bucket, so the
+        # content fingerprint (which hashes CSR order) changes — exactly
+        # what busts per-graph caches after a live update.
+        assert graph_fingerprint(cycled) != graph_fingerprint(graph)
+
+    def test_existing_arc_rejected(self, tiny_graph):
+        with pytest.raises(GraphError, match="already present"):
+            tiny_graph.add_edges([(0, 1)])
+
+    def test_duplicate_arcs_in_delta_rejected(self, tiny_graph):
+        with pytest.raises(GraphError, match="duplicate"):
+            tiny_graph.add_edges([(4, 0), (4, 0)])
+
+    def test_missing_arc_rejected_on_remove(self, tiny_graph):
+        with pytest.raises(GraphError, match="not present"):
+            tiny_graph.remove_edges([(1, 0)])  # reverse arc not present
+
+    def test_endpoint_validation(self, tiny_graph):
+        with pytest.raises(GraphError, match="endpoints"):
+            tiny_graph.add_edges([(0, 99)])
+        with pytest.raises(GraphError, match="at least one"):
+            tiny_graph.add_edges([])
+        with pytest.raises(GraphError, match="shape"):
+            tiny_graph.add_edges([(0, 1, 2)])
+
+    def test_weight_validation(self, tiny_graph):
+        with pytest.raises(GraphError, match="\\[0, 1\\]"):
+            tiny_graph.add_edges([(4, 0)], weights=[1.5])
+        with pytest.raises(GraphError, match="shape"):
+            tiny_graph.add_edges([(4, 0)], weights=[0.5, 0.5])
+
+    def test_mutation_leaves_original_untouched(self, tiny_graph):
+        before = tiny_graph.num_edges
+        tiny_graph.add_edges([(4, 0)])
+        tiny_graph.remove_edges([(0, 1)])
+        assert tiny_graph.num_edges == before
+        assert tiny_graph.has_edge(0, 1)
+
+    def test_random_graph_add_matches_rebuild(self):
+        rng = np.random.default_rng(11)
+        from repro.graphs.generators import erdos_renyi_graph
+
+        graph = erdos_renyi_graph(50, 0.05, rng=rng, directed=True)
+        present = set(zip(*graph.edge_arrays()[:2]))
+        candidates = [
+            (u, v)
+            for u in range(50)
+            for v in range(50)
+            if u != v and (u, v) not in present
+        ][:20]
+        added = graph.add_edges(candidates)
+        sources, targets, _ = graph.edge_arrays()
+        rebuilt_edges = list(zip(sources.tolist(), targets.tolist())) + candidates
+        rebuilt = Graph(50, rebuilt_edges)
+        assert added == rebuilt

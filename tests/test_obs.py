@@ -425,3 +425,87 @@ def test_obs_is_stdlib_plus_numpy_only():
         import importlib
 
         importlib.reload(obs_module)
+
+
+class TestMetricsThreadSafety:
+    """Regression: Counter/Gauge/Histogram were bare read-modify-writes;
+    the serving layer hammers them from one thread per connection."""
+
+    def test_counter_hammer_loses_no_increments(self):
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("hammered")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(2000)]
+            )
+            for _ in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert counter.value == 16 * 2000
+
+    def test_histogram_hammer_count_and_total_consistent(self):
+        import threading
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        threads = [
+            threading.Thread(
+                target=lambda: [histogram.observe(1.0) for _ in range(2000)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert histogram.count == 8 * 2000
+        assert histogram.total == float(8 * 2000)
+        assert histogram.quantile(0.5) == 1.0
+
+    def test_instrument_creation_race_yields_one_instrument(self):
+        import threading
+
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(12)
+
+        def worker():
+            barrier.wait(timeout=30)
+            seen.append(registry.counter("contended"))
+
+        threads = [threading.Thread(target=worker) for _ in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert all(instrument is seen[0] for instrument in seen)
+
+    def test_span_stacks_are_per_thread(self):
+        import threading
+
+        registry = MetricsRegistry()
+        paths = {}
+        barrier = threading.Barrier(4)
+
+        def worker(name):
+            barrier.wait(timeout=30)
+            with registry.span(name):
+                with registry.span("inner") as inner:
+                    paths[name] = inner.path
+
+        threads = [
+            threading.Thread(target=worker, args=(f"req{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        # nesting never crosses threads: each inner span is prefixed by
+        # its own thread's outer span, not an interleaved stranger's
+        assert paths == {f"req{i}": f"req{i}.inner" for i in range(4)}
+        assert len(registry.span_log) == 8

@@ -1,0 +1,226 @@
+"""Cross-request micro-batching: fusion, bit-identity, deadlines."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import TrainingError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.serving.batch import DeadlineExceededInBatch, MicroBatcher
+from repro.serving.engine import ScoringEngine, graph_fingerprint
+from repro.serving.service import InfluenceService, ServiceConfig
+
+from tests.test_serving_registry import make_artifact
+
+
+@pytest.fixture()
+def graph():
+    return barabasi_albert_graph(60, 2, rng=5)
+
+
+def _fan_out(fn, count):
+    """Run ``fn(i)`` on ``count`` threads released together; return results."""
+    results = [None] * count
+    errors = [None] * count
+    barrier = threading.Barrier(count)
+
+    def worker(index):
+        barrier.wait(timeout=30)
+        try:
+            results[index] = fn(index)
+        except Exception as error:  # noqa: BLE001 - surfaced via asserts
+            errors[index] = error
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    return results, errors
+
+
+class TestFusion:
+    def test_distinct_cold_requests_share_one_forward_pass(self, graph):
+        engine = ScoringEngine(make_artifact())
+        batcher = MicroBatcher(engine, window=0.2, max_batch=64)
+        fingerprint = graph_fingerprint(graph)
+
+        results, errors = _fan_out(
+            lambda i: batcher.submit_score(
+                graph, fingerprint, [i, i + 1], deadline=30.0
+            ),
+            8,
+        )
+        assert errors == [None] * 8
+        assert engine.forward_passes == 1
+        stats = batcher.stats()
+        assert stats["batches"] == 1
+        assert stats["fused"] == 7  # everyone but the leader
+
+    def test_batch_cap_flushes_without_waiting_for_window(self, graph):
+        engine = ScoringEngine(make_artifact())
+        # A window long enough that only the cap can explain a fast flush.
+        batcher = MicroBatcher(engine, window=30.0, max_batch=4)
+        fingerprint = graph_fingerprint(graph)
+        started = time.monotonic()
+        results, errors = _fan_out(
+            lambda i: batcher.submit_score(graph, fingerprint, [i], deadline=60.0),
+            4,
+        )
+        elapsed = time.monotonic() - started
+        assert errors == [None] * 4
+        assert elapsed < 10.0
+        assert engine.forward_passes == 1
+
+    def test_warm_requests_bypass_the_window(self, graph):
+        engine = ScoringEngine(make_artifact())
+        batcher = MicroBatcher(engine, window=30.0, max_batch=64)
+        fingerprint = graph_fingerprint(graph)
+        engine.scores(graph, fingerprint=fingerprint)  # warm the vector
+        started = time.monotonic()
+        result = batcher.submit_score(graph, fingerprint, [3], deadline=60.0)
+        assert time.monotonic() - started < 5.0  # no 30s window paid
+        assert len(result) == 1
+        assert batcher.stats()["batches"] == 0
+
+    def test_constructor_validation(self, graph):
+        engine = ScoringEngine(make_artifact())
+        with pytest.raises(ValueError):
+            MicroBatcher(engine, window=0.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(engine, max_batch=0)
+
+
+class TestBitIdentity:
+    def test_batched_scores_equal_unbatched(self, graph):
+        artifact = make_artifact()
+        batched = InfluenceService(
+            artifact,
+            graph,
+            config=ServiceConfig(batch_window_ms=50.0, max_inflight=16),
+        )
+        plain = InfluenceService(artifact, graph)
+        node_lists = [[i, i + 1, i + 2] for i in range(0, 30, 3)]
+
+        results, errors = _fan_out(
+            lambda i: batched.score({"nodes": node_lists[i]})["scores"],
+            len(node_lists),
+        )
+        assert errors == [None] * len(node_lists)
+        assert batched.engine.forward_passes == 1
+        for i, node_list in enumerate(node_lists):
+            assert results[i] == plain.score({"nodes": node_list})["scores"]
+
+    def test_batched_seeds_equal_unbatched(self, graph):
+        artifact = make_artifact()
+        batched = InfluenceService(
+            artifact,
+            graph,
+            config=ServiceConfig(batch_window_ms=50.0, max_inflight=16),
+        )
+        plain = InfluenceService(artifact, graph)
+        ks = [2, 3, 4, 5]
+        results, errors = _fan_out(
+            lambda i: batched.seeds({"k": ks[i], "tie_break_seed": 9})["seeds"],
+            len(ks),
+        )
+        assert errors == [None] * len(ks)
+        for i, k in enumerate(ks):
+            assert results[i] == plain.seeds({"k": k, "tie_break_seed": 9})["seeds"]
+
+    def test_batching_disabled_by_default(self, graph):
+        service = InfluenceService(make_artifact(), graph)
+        assert service.batcher is None
+        assert service.score({"nodes": [0]})["scores"]
+
+
+class _StallingEngine(ScoringEngine):
+    """Engine whose forward pass sleeps, to make deadlines observable."""
+
+    def __init__(self, artifact, sleep_seconds, **kwargs):
+        super().__init__(artifact, **kwargs)
+        self.sleep_seconds = sleep_seconds
+
+    def scores(self, graph, *, fingerprint=None):
+        time.sleep(self.sleep_seconds)
+        return super().scores(graph, fingerprint=fingerprint)
+
+
+class TestDeadlines:
+    def test_member_past_deadline_gets_deadline_error_not_stale_result(
+        self, graph
+    ):
+        engine = _StallingEngine(make_artifact(), sleep_seconds=0.3)
+        batcher = MicroBatcher(engine, window=0.05, max_batch=64)
+        fingerprint = graph_fingerprint(graph)
+
+        deadlines = [0.1, 30.0]  # first expires inside the forward pass
+        results, errors = _fan_out(
+            lambda i: batcher.submit_score(
+                graph, fingerprint, [i], deadline=deadlines[i]
+            ),
+            2,
+        )
+        outcomes = sorted(
+            "deadline" if isinstance(e, DeadlineExceededInBatch) else "ok"
+            for e in errors
+        )
+        assert outcomes == ["deadline", "ok"]
+        # the survivor got a real answer
+        survivor = next(i for i, e in enumerate(errors) if e is None)
+        assert results[survivor] is not None
+
+    def test_tight_deadline_flushes_window_early(self, graph):
+        engine = ScoringEngine(make_artifact())
+        # 30s window, but the request's own deadline caps the wait.
+        batcher = MicroBatcher(engine, window=30.0, max_batch=64)
+        fingerprint = graph_fingerprint(graph)
+        started = time.monotonic()
+        result = batcher.submit_score(graph, fingerprint, [0], deadline=0.5)
+        assert time.monotonic() - started < 10.0
+        assert result is not None
+
+    def test_service_maps_batch_deadline_to_504(self, graph):
+        engine = _StallingEngine(make_artifact(), sleep_seconds=0.4)
+        service = InfluenceService(
+            make_artifact(),
+            graph,
+            config=ServiceConfig(batch_window_ms=10.0),
+            engine=engine,
+        )
+        from repro.serving.service import DeadlineExceeded
+
+        with pytest.raises(DeadlineExceeded):
+            service.score({"nodes": [0], "deadline_ms": 100})
+
+
+class _BrokenEngine(ScoringEngine):
+    def scores(self, graph, *, fingerprint=None):
+        raise TrainingError("forward pass exploded")
+
+
+class TestErrorIsolation:
+    def test_leader_failure_reaches_every_member(self, graph):
+        engine = _BrokenEngine(make_artifact())
+        batcher = MicroBatcher(engine, window=0.2, max_batch=64)
+        fingerprint = graph_fingerprint(graph)
+        results, errors = _fan_out(
+            lambda i: batcher.submit_score(graph, fingerprint, [i], deadline=30.0),
+            4,
+        )
+        assert all(isinstance(e, TrainingError) for e in errors)
+
+    def test_batcher_recovers_after_a_failed_batch(self, graph):
+        artifact = make_artifact()
+        engine = ScoringEngine(artifact)
+        batcher = MicroBatcher(engine, window=0.01, max_batch=4)
+        fingerprint = graph_fingerprint(graph)
+        with pytest.raises(TrainingError):
+            batcher.submit_score(graph, fingerprint, [10**9], deadline=30.0)
+        # next submission opens a fresh batch and succeeds
+        assert batcher.submit_score(graph, fingerprint, [0], deadline=30.0) is not None

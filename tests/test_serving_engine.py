@@ -231,3 +231,125 @@ class TestPrecomputedFeaturePassThrough:
         assert pipeline.select_seeds(
             eval_graph, 5, features=features
         ) == pipeline.select_seeds(eval_graph, 5)
+
+
+class TestCoalescedAccounting:
+    """Regression: `coalesced += 1` ran outside the engine lock, so
+    concurrent waiters lost increments and /metrics under-reported."""
+
+    def test_hammer_coalesced_counter_is_exact(self, eval_graph):
+        for round_index in range(5):
+            engine = ScoringEngine(make_artifact())
+            release = threading.Event()
+            waiting = threading.Semaphore(0)
+
+            class _GatedDict(dict):
+                """Signals when a waiter observes the in-flight event."""
+
+                def get(self, key, default=None):
+                    value = super().get(key, default)
+                    if value is not None:
+                        waiting.release()
+                    return value
+
+            gated = _GatedDict()
+            engine._inflight = gated
+
+            import repro.serving.engine as engine_module
+
+            real_score_nodes = engine_module._score_nodes
+
+            def stalled(model, graph, features=None):
+                release.wait(timeout=30)
+                return real_score_nodes(model, graph, features=features)
+
+            engine_module._score_nodes = stalled
+            try:
+                threads = [
+                    threading.Thread(
+                        target=engine.scores, args=(eval_graph,)
+                    )
+                    for _ in range(12)
+                ]
+                for thread in threads:
+                    thread.start()
+                # wait until all 11 non-leaders are registered as waiters
+                for _ in range(11):
+                    assert waiting.acquire(timeout=30)
+                release.set()
+                for thread in threads:
+                    thread.join(timeout=30)
+            finally:
+                engine_module._score_nodes = real_score_nodes
+            stats = engine.stats()
+            assert stats["coalesced"] == 11, (round_index, stats)
+            assert stats["forward_passes"] == 1, (round_index, stats)
+
+    def test_every_request_has_exactly_one_terminal_event(self, eval_graph):
+        """hits + forward_passes == requests; coalesced are extra waits."""
+        engine = ScoringEngine(make_artifact())
+        total = 64
+        barrier = threading.Barrier(16)
+
+        def worker(index):
+            if index < 16:
+                barrier.wait(timeout=30)
+            engine.scores(eval_graph)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(total)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        stats = engine.stats()
+        assert (
+            stats["scores"]["hits"] + stats["forward_passes"] == total
+        ), stats
+
+
+class TestSelectiveInvalidation:
+    def test_invalidate_drops_only_the_touched_fingerprint(self):
+        engine = ScoringEngine(make_artifact())
+        graph_a = barabasi_albert_graph(40, 2, rng=1)
+        graph_b = barabasi_albert_graph(40, 2, rng=2)
+        fp_a = graph_fingerprint(graph_a)
+        fp_b = graph_fingerprint(graph_b)
+        engine.top_k_seeds(graph_a, 5, rng=3)
+        engine.top_k_seeds(graph_b, 5, rng=3)
+        engine.estimate_spread(graph_b, [0, 1])
+
+        dropped = engine.invalidate(fp_a)
+        assert dropped == {"features": 1, "scores": 1, "results": 1}
+
+        # graph B stays fully warm: repeat queries are pure cache hits
+        before = engine.stats()
+        engine.top_k_seeds(graph_b, 5, rng=3)
+        engine.estimate_spread(graph_b, [0, 1])
+        after = engine.stats()
+        assert after["forward_passes"] == before["forward_passes"]
+        assert after["results"]["hits"] == before["results"]["hits"] + 2
+        # graph A recomputes from scratch
+        engine.top_k_seeds(graph_a, 5, rng=3)
+        assert engine.stats()["forward_passes"] == before["forward_passes"] + 1
+
+    def test_invalidate_unknown_fingerprint_is_a_noop(self):
+        engine = ScoringEngine(make_artifact())
+        graph = barabasi_albert_graph(30, 2, rng=4)
+        engine.top_k_seeds(graph, 3, rng=0)
+        dropped = engine.invalidate("no-such-fingerprint")
+        assert dropped == {"features": 0, "scores": 0, "results": 0}
+        before = engine.stats()["forward_passes"]
+        engine.top_k_seeds(graph, 3, rng=0)
+        assert engine.stats()["forward_passes"] == before
+
+    def test_scores_cached_peek_has_no_stats_side_effects(self):
+        engine = ScoringEngine(make_artifact())
+        graph = barabasi_albert_graph(30, 2, rng=4)
+        fingerprint = graph_fingerprint(graph)
+        assert not engine.scores_cached(fingerprint)
+        stats = engine.stats()["scores"]
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        engine.scores(graph, fingerprint=fingerprint)
+        assert engine.scores_cached(fingerprint)

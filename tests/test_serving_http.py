@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 import urllib.error
@@ -303,3 +304,207 @@ class TestConcurrentBurst:
             if name.startswith("serve.responses.")
         )
         assert counted >= 32
+
+
+def _raw_status(port: int, request: bytes) -> int:
+    """Send raw bytes, return the status code of the first response line."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(request)
+        sock.settimeout(10)
+        data = b""
+        while b"\r\n" not in data:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    return int(data.split(b"\r\n", 1)[0].split(b" ")[1])
+
+
+class TestFramingContract:
+    """Regression tests: 413/411 body framing (previously 400 / desync)."""
+
+    def test_handler_disables_nagle(self):
+        # Headers and body go out as separate segments; without
+        # TCP_NODELAY every keep-alive response stalls ~40ms on the
+        # client's delayed ACK (measured: 46 -> 7600 QPS warm).
+        from repro.serving.http import _Handler
+
+        assert _Handler.disable_nagle_algorithm is True
+
+    def test_oversized_body_is_413_not_400(self, stack):
+        client, _, _ = stack
+        port = int(client.base.rsplit(":", 1)[1])
+        huge = 5 * 1024 * 1024  # over MAX_BODY_BYTES; body never sent
+        status = _raw_status(
+            port,
+            b"POST /v1/seeds HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: %d\r\n\r\n" % huge,
+        )
+        assert status == 413
+
+    def test_chunked_transfer_encoding_is_411(self, stack):
+        client, _, _ = stack
+        port = int(client.base.rsplit(":", 1)[1])
+        status = _raw_status(
+            port,
+            b"POST /v1/seeds HTTP/1.1\r\nHost: x\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n"
+            b"8\r\n{\"k\": 3}\r\n0\r\n\r\n",
+        )
+        assert status == 411
+
+    def test_post_without_content_length_is_411(self, stack):
+        # Previously treated as an empty body: with a real body following,
+        # the unread bytes desynced the next keep-alive request.
+        client, _, _ = stack
+        port = int(client.base.rsplit(":", 1)[1])
+        status = _raw_status(
+            port, b"POST /v1/seeds HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        assert status == 411
+
+    def test_invalid_content_length_is_400(self, stack):
+        client, _, _ = stack
+        port = int(client.base.rsplit(":", 1)[1])
+        status = _raw_status(
+            port,
+            b"POST /v1/seeds HTTP/1.1\r\nHost: x\r\nContent-Length: ab\r\n\r\n",
+        )
+        assert status == 400
+
+    def test_client_disconnect_mid_response_does_not_wedge_server(self, stack):
+        client, _, _ = stack
+        port = int(client.base.rsplit(":", 1)[1])
+        # Ask for the full score vector, then hang up without reading.
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+            body = b'{"nodes": null}'
+            sock.sendall(
+                b"POST /v1/score HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+            )
+        # The handler thread must survive; the server keeps answering.
+        assert client.get("/healthz")[0] == 200
+
+
+class TestQueryStringRouting:
+    """Regression: exact-match routing 404'd any GET with a query string."""
+
+    def test_healthz_with_query(self, stack):
+        client, _, _ = stack
+        status, payload, _ = client.get("/healthz?probe=1")
+        assert status == 200 and payload["status"] == "ok"
+
+    def test_metrics_with_query(self, stack):
+        client, _, _ = stack
+        status, payload, _ = client.get("/metrics?format=json")
+        assert status == 200 and "counters" in payload
+
+    def test_post_with_query(self, stack):
+        client, _, _ = stack
+        status, payload, _ = client.post("/v1/seeds?trace=1", {"k": 3})
+        assert status == 200 and len(payload["seeds"]) == 3
+
+    def test_unknown_path_with_query_still_404(self, stack):
+        client, _, _ = stack
+        assert client.get("/nope?x=1")[0] == 404
+
+
+class TestParameterValidationRegressions:
+    """NaN/inf deadlines and bool-typed ints must be clean 400s."""
+
+    def test_nan_deadline_is_400(self, stack):
+        # json.dumps(nan) -> "NaN", which the server's json.loads accepts;
+        # NaN then passed `<= 0` and poisoned the semaphore timeout.
+        client, _, _ = stack
+        status, body, _ = client.post(
+            "/v1/seeds", {"k": 3, "deadline_ms": float("nan")}
+        )
+        assert status == 400 and "finite" in body["error"]
+
+    def test_inf_deadline_is_400(self, stack):
+        client, _, _ = stack
+        status, body, _ = client.post(
+            "/v1/seeds", {"k": 3, "deadline_ms": float("inf")}
+        )
+        assert status == 400 and "finite" in body["error"]
+
+    def test_bool_deadline_is_400(self, stack):
+        client, _, _ = stack
+        status, _, _ = client.post("/v1/seeds", {"k": 3, "deadline_ms": True})
+        assert status == 400
+
+    def test_bool_tie_break_seed_is_400(self, stack):
+        # bool is an int subclass: `true` passed isinstance(rng, int) and
+        # was silently cached as seed 1.
+        client, _, _ = stack
+        status, body, _ = client.post(
+            "/v1/seeds", {"k": 3, "tie_break_seed": True}
+        )
+        assert status == 400 and "tie_break_seed" in body["error"]
+
+    def test_bool_spread_params_are_400(self, stack):
+        client, _, _ = stack
+        for field in ("steps", "num_simulations", "seed"):
+            status, body, _ = client.post(
+                "/v1/spread", {"seeds": [0, 1], field: True}
+            )
+            assert status == 400, (field, body)
+
+
+class TestGraphMutationEndpoint:
+    def test_add_then_remove_round_trip(self, stack):
+        client, service, graph = stack
+        before = client.get("/healthz")[1]
+        assert not graph.has_edge(0, 39)
+        status, added, _ = client.post(
+            "/v1/graph/edges", {"op": "add", "edges": [[0, 39]]}
+        )
+        assert status == 200
+        # graph_edges counts directed arcs: one undirected edge adds two.
+        assert added["graph_edges"] == before["graph_edges"] + 2
+        assert added["graph_fingerprint"] != added["old_fingerprint"]
+        assert added["old_fingerprint"] == before["graph_fingerprint"]
+        # every subsequent response carries the new fingerprint
+        health = client.get("/healthz")[1]
+        assert health["graph_fingerprint"] == added["graph_fingerprint"]
+        assert health["graph_mutations"] == 1
+        status, removed, _ = client.post(
+            "/v1/graph/edges", {"op": "remove", "edges": [[0, 39]]}
+        )
+        assert status == 200
+        assert removed["graph_edges"] == before["graph_edges"]
+
+    def test_scores_reflect_mutation(self, stack):
+        client, _, graph = stack
+        baseline = client.post("/v1/score", {"nodes": [5]})[1]
+        # Attach node 5 to every other node: its degree features change,
+        # so its served score must change too — no stale graph state.
+        new_edges = [
+            [5, v] for v in range(graph.num_nodes) if v != 5
+            and not graph.has_edge(5, v)
+        ]
+        status, mutated, _ = client.post(
+            "/v1/graph/edges", {"op": "add", "edges": new_edges}
+        )
+        assert status == 200
+        after = client.post("/v1/score", {"nodes": [5]})[1]
+        assert after["graph_fingerprint"] == mutated["graph_fingerprint"]
+        assert after["scores"] != baseline["scores"]
+
+    def test_mutation_validation(self, stack):
+        client, _, _ = stack
+        cases = [
+            {"op": "upsert", "edges": [[0, 1]]},
+            {"op": "add"},
+            {"op": "add", "edges": []},
+            {"op": "add", "edges": [[0, 1, 2]]},
+            {"op": "add", "edges": [[0, True]]},
+            {"op": "add", "edges": [[0, 1]], "weights": [0.5, 0.5]},
+            {"op": "remove", "edges": [[0, 1]], "weights": [0.5]},
+            {"op": "add", "edges": [[0, 99999]]},        # endpoint range
+            {"op": "remove", "edges": [[0, 39]]},        # edge not present
+        ]
+        for payload in cases:
+            status, body, _ = client.post("/v1/graph/edges", payload)
+            assert status == 400, (payload, body)
+            assert "error" in body
