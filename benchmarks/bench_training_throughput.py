@@ -223,6 +223,101 @@ def run_rss_probe(source: str, count: int, iterations: int, model_kind: str) -> 
     return 0
 
 
+SHARDED_PROBE_SHARDS = 4
+SHARDED_PROBE_CONFIG = dict(
+    subgraph_size=8, threshold=3, sampling_rate=0.1, walk_length=60
+)
+
+
+def run_sharded_prep(directory: str, nodes: int) -> int:
+    """Subprocess body: build the probe graph, shard it, persist the shard
+    set.  Runs in its own interpreter so the probe process that follows
+    never materialises the full graph — it opens the shard files cold."""
+    from repro.sharding import build_shard_set
+
+    graph = powerlaw_cluster_graph(nodes, 3, 0.3, rng=bench_seed())
+    shard_set = build_shard_set(
+        graph, SHARDED_PROBE_SHARDS, rng=bench_seed()
+    )
+    shard_set.save(directory)
+    print(f"SHARDS_READY {graph.num_edges}")
+    return 0
+
+
+def run_sharded_probe(directory: str, iterations: int, model_kind: str) -> int:
+    """Subprocess body: the full sharded path — open shard set from disk,
+    sharded dual-stage sampling into per-shard stores, merge, train from
+    the merged store — then print this process's peak RSS."""
+    import resource
+    import tempfile
+
+    from repro.sampling.dual_stage import DualStageSamplingConfig
+    from repro.sharding import ShardSet, ShardedStoreSink, sample_dual_stage_sharded
+
+    shard_set = ShardSet.load(directory)
+    config = DualStageSamplingConfig(**SHARDED_PROBE_CONFIG)
+    with tempfile.TemporaryDirectory() as tmp:
+        sink = ShardedStoreSink(
+            os.path.join(tmp, "shards"),
+            shard_set.assignment,
+            SHARDED_PROBE_SHARDS,
+        )
+        sample_dual_stage_sharded(shard_set, config, rng=bench_seed(), sink=sink)
+        pool = sink.finalize_merged(
+            os.path.join(tmp, "merged"),
+            expected_max_occurrence=config.threshold,
+            num_original_nodes=shard_set.num_nodes,
+        )
+        try:
+            num_subgraphs = len(pool)
+            run_configuration(
+                pool,
+                iterations=iterations,
+                workers=1,
+                kernels_on=True,
+                model_kind=model_kind,
+                grad_mode="vectorized",
+                prefetch_depth=2,
+            )
+        finally:
+            pool.close()
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(f"SUBGRAPHS {num_subgraphs}")
+    print(f"PEAK_RSS_KB {peak_kb}")
+    return 0
+
+
+def sharded_probe_subprocess(
+    directory: str, nodes: int, iterations: int, model: str
+) -> tuple[int, int]:
+    """Prep + probe subprocess pair; returns (peak KB, num subgraphs)."""
+    common = [sys.executable, os.path.abspath(__file__), "--model", model]
+    prep = subprocess.run(
+        [*common, "--sharded-prep", directory, "--probe-nodes", str(nodes)],
+        capture_output=True, text=True, check=False,
+    )
+    if "SHARDS_READY" not in prep.stdout:
+        raise RuntimeError(
+            f"sharded prep ({nodes} nodes) failed:\n{prep.stdout}\n{prep.stderr}"
+        )
+    probe = subprocess.run(
+        [*common, "--sharded-probe", directory, "--iterations", str(iterations)],
+        capture_output=True, text=True, check=False,
+    )
+    peak_kb = subgraphs = None
+    for line in probe.stdout.splitlines():
+        if line.startswith("PEAK_RSS_KB "):
+            peak_kb = int(line.split()[1])
+        if line.startswith("SUBGRAPHS "):
+            subgraphs = int(line.split()[1])
+    if peak_kb is None:
+        raise RuntimeError(
+            f"sharded probe ({nodes} nodes) produced no measurement:\n"
+            f"{probe.stdout}\n{probe.stderr}"
+        )
+    return peak_kb, subgraphs
+
+
 def rss_probe_subprocess(source: str, count: int, iterations: int, model: str) -> int:
     """Launch :func:`run_rss_probe` in a fresh interpreter; return peak KB."""
     result = subprocess.run(
@@ -301,6 +396,68 @@ def compare_with_baseline(baseline_src: str, *, tiny, iterations, model, pairs):
     }
 
 
+def merge_worker_gate(args, iterations: int) -> int:
+    """Re-measure the ``--grad-workers 4`` scaling gate on this machine and
+    merge it into an existing summary JSON.
+
+    The committed BENCH_training.json is written on whatever machine runs
+    the full bench; when that machine has fewer than 4 cores the worker
+    gate is recorded unenforced.  CI calls this mode on a >= 4-core runner
+    so the artifact it uploads carries an *enforced* measurement, without
+    fabricating one on hardware that cannot produce it.
+    """
+    output = os.path.abspath(args.output)
+    with open(output, encoding="utf-8") as handle:
+        summary = json.load(handle)
+
+    cpu_count = os.cpu_count() or 1
+    container = build_container(args.tiny)
+    print(
+        f"merge-gates: {len(container)} subgraphs | {cpu_count} cores | "
+        f"iterations={iterations}"
+    )
+    rates = {}
+    for workers in (1, 4):
+        rate, _ = run_configuration(
+            container,
+            iterations=iterations,
+            workers=workers,
+            kernels_on=True,
+            model_kind=args.model,
+            grad_mode="vectorized",
+        )
+        rates[workers] = rate
+        print(f"  workers={workers} -> {rate:7.3f} it/s")
+    ratio = rates[4] / rates[1]
+    enforced = cpu_count >= 4
+    gate = {
+        "threshold": 1.3,
+        "ratio": round(ratio, 3),
+        "enforced": enforced,
+        "passed": ratio >= 1.3,
+        "remeasured_cpu_count": cpu_count,
+    }
+    if not enforced:
+        gate["skip_reason"] = f"requires >= 4 CPU cores, machine has {cpu_count}"
+    summary.setdefault("regression_gates", {})["workers4_vs_1"] = gate
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"gate workers 4/1: {ratio:.2f}x (threshold 1.3x, "
+        f"{'enforced' if enforced else 'not enforced'}, {cpu_count} cores)"
+    )
+    print(f"merged into {output}")
+    if enforced and not gate["passed"]:
+        print(
+            f"REGRESSION GATE FAILED: --grad-workers 4 is only {ratio:.2f}x "
+            "single-worker (< 1.3x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -336,6 +493,30 @@ def main(argv=None) -> int:
         "--probe-count", type=int, default=None, help=argparse.SUPPRESS
     )
     parser.add_argument(
+        "--sharded-prep", metavar="DIR", default=None, help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--sharded-probe", metavar="DIR", default=None, help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--probe-nodes", type=int, default=None, help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--sharded-base", type=int, default=1200,
+        help="base graph size for the sharded end-to-end probes "
+             "(default: 1200; the large arm is 10x this)",
+    )
+    parser.add_argument(
+        "--skip-sharded", action="store_true",
+        help="skip the sharded sample->store->train end-to-end probes",
+    )
+    parser.add_argument(
+        "--merge-gates", action="store_true",
+        help="re-measure only the grad-worker scaling gate on this machine "
+             "and merge the result into an existing --output JSON (for CI "
+             "runners with more cores than the machine that wrote the file)",
+    )
+    parser.add_argument(
         "--rss-base", type=int, default=300,
         help="base pool size for the RSS flatness probes (default: 300; "
              "the large arm is 10x this)",
@@ -356,6 +537,15 @@ def main(argv=None) -> int:
         return run_rss_probe(
             args.rss_probe, args.probe_count, iterations, args.model
         )
+
+    if args.sharded_prep:
+        return run_sharded_prep(args.sharded_prep, args.probe_nodes)
+
+    if args.sharded_probe:
+        return run_sharded_probe(args.sharded_probe, iterations, args.model)
+
+    if args.merge_gates:
+        return merge_worker_gate(args, iterations)
 
     if args.time_only:
         # Subprocess arm: serial defaults only, APIs common to both trees.
@@ -572,6 +762,61 @@ def main(argv=None) -> int:
                 f"store peak RSS grew {store_ratio:.2f}x when the pool grew 10x (> 1.2x)"
             )
 
+    # ------------------------------------------------------------------ #
+    # Sharded end-to-end: partition -> sharded sample -> per-shard stores
+    # -> merge -> train, at a base graph and a 10x graph.  The probe
+    # process opens the shard set cold from disk (the full graph is built
+    # and thrown away in a separate prep interpreter) and trains from the
+    # merged on-disk store, so its peak RSS must grow far slower than the
+    # graph: the gate bounds the 10x-graph probe at 2x the base probe.
+    # ------------------------------------------------------------------ #
+    sharded = None
+    if not args.skip_sharded:
+        import tempfile
+
+        base_nodes = args.sharded_base
+        large_nodes = base_nodes * 10
+        measurements = {}
+        for nodes in (base_nodes, large_nodes):
+            with tempfile.TemporaryDirectory() as shard_tmp:
+                peak_kb, num_subgraphs = sharded_probe_subprocess(
+                    shard_tmp, nodes, 4, args.model
+                )
+            measurements[nodes] = (peak_kb, num_subgraphs)
+            print(
+                f"  sharded probe |V|={nodes:6d} shards={SHARDED_PROBE_SHARDS} "
+                f"-> {num_subgraphs} subgraphs, {peak_kb} KB peak"
+            )
+        rss_ratio = measurements[large_nodes][0] / measurements[base_nodes][0]
+        gate = {
+            "graph_sizes": [base_nodes, large_nodes],
+            "num_shards": SHARDED_PROBE_SHARDS,
+            "rss_kb": [measurements[base_nodes][0], measurements[large_nodes][0]],
+            "num_subgraphs": [
+                measurements[base_nodes][1], measurements[large_nodes][1],
+            ],
+            "threshold": 2.0,
+            "ratio": round(rss_ratio, 3),
+            "enforced": True,
+            "passed": rss_ratio <= 2.0,
+        }
+        gates["sharded_rss_bounded"] = gate
+        sharded = {
+            "pipeline": "partition -> sharded sample -> per-shard stores -> "
+                        "merge -> train (probe opens shards cold from disk)",
+            "sampling": SHARDED_PROBE_CONFIG,
+            **gate,
+        }
+        print(
+            f"gate sharded RSS bound: {rss_ratio:.3f}x over a 10x graph "
+            "(threshold 2.0x)"
+        )
+        if not gate["passed"]:
+            failures.append(
+                f"sharded end-to-end peak RSS grew {rss_ratio:.2f}x when the "
+                "graph grew 10x (> 2.0x)"
+            )
+
     summary = {
         "benchmark": "training_throughput",
         "mode": "tiny" if args.tiny else "full",
@@ -590,6 +835,8 @@ def main(argv=None) -> int:
         "loss_histories_identical": True,
         "regression_gates": gates,
     }
+    if sharded is not None:
+        summary["sharded"] = sharded
 
     if args.baseline_src:
         print(f"paired comparison vs {args.baseline_src}:")

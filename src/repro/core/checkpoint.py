@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import mmap
 import os
 
 import numpy as np
@@ -41,6 +42,7 @@ _MAGIC = b"REPRO-CKPT-v1"
 __all__ = [
     "load_model",
     "load_training_checkpoint",
+    "map_checksummed",
     "normalize_checkpoint_path",
     "read_checksummed",
     "save_model",
@@ -211,6 +213,65 @@ def read_checksummed(path: str | os.PathLike, magic: bytes, *, kind: str) -> byt
     if hashlib.sha256(data).hexdigest() != expected_digest:
         raise TrainingError(f"{path} failed its SHA-256 checksum; the file is corrupt")
     return data
+
+
+def map_checksummed(
+    path: str | os.PathLike, magic: bytes, *, kind: str
+) -> tuple[mmap.mmap, int, int]:
+    """Stream-verify a :func:`write_checksummed` file and memory-map it.
+
+    Unlike :func:`read_checksummed`, the payload never lands in a Python
+    ``bytes`` object: the checksum is computed by streaming 1 MiB chunks
+    and the verified file is returned as a read-only ``mmap``, so callers
+    can hold views over payloads far larger than comfortable RSS.
+
+    Returns ``(mapped, payload_offset, payload_size)``.  The caller owns
+    the map and must keep it alive for as long as any view into it.
+
+    Raises:
+        TrainingError: same failure taxonomy as :func:`read_checksummed`.
+    """
+    path = os.fspath(path)
+    try:
+        handle = open(path, "rb")
+    except FileNotFoundError:
+        raise TrainingError(f"no {kind} at {path}") from None
+    except OSError as error:
+        raise TrainingError(f"cannot read {kind} {path}: {error}") from error
+    with handle:
+        header = handle.readline(65536)
+        if not header.startswith(magic + b" ") or not header.endswith(b"\n"):
+            raise TrainingError(f"{path} is not a repro {kind}")
+        newline = len(header) - 1
+        try:
+            fields = dict(
+                part.split(b"=", 1)
+                for part in header[len(magic) + 1 : newline].split(b" ")
+            )
+            expected_digest = fields[b"sha256"].decode("ascii")
+            expected_size = int(fields[b"size"])
+        except (KeyError, ValueError) as error:
+            raise TrainingError(f"{path} has a malformed {kind} header") from error
+
+        payload_offset = len(header)
+        file_size = os.fstat(handle.fileno()).st_size
+        if file_size - payload_offset != expected_size:
+            raise TrainingError(
+                f"{path} is truncated: header promises {expected_size} payload "
+                f"bytes, file holds {file_size - payload_offset}"
+            )
+        digest = hashlib.sha256()
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                break
+            digest.update(chunk)
+        if digest.hexdigest() != expected_digest:
+            raise TrainingError(
+                f"{path} failed its SHA-256 checksum; the file is corrupt"
+            )
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    return mapped, payload_offset, expected_size
 
 
 def save_training_checkpoint(state: dict, path: str | os.PathLike) -> str:

@@ -75,6 +75,22 @@ class PrivIMConfig:
         grad_mode: gradient execution strategy — ``"vectorized"`` (one
             disjoint-union pass per batch, the default) or ``"loop"`` (one
             pass per subgraph); byte-identical results either way.
+        num_shards: edge-cut shards for the sharded sampling engine
+            (:mod:`repro.sharding`); 1 (default) keeps the flat single-
+            graph engine.  Sharded sampling is bit-identical to the flat
+            path under a fixed seed — shards are a memory/throughput
+            layout, never a sampling parameter.
+        shard_workers: worker processes hosting shards when sharding is
+            active (shards are placed round-robin; also a pure throughput
+            knob).
+        shard_dir: directory holding (or to hold) the persisted shard set.
+            An existing shard set is loaded and reused (workers then mmap
+            their own shard files); otherwise the set is built from the
+            graph and saved here.  Setting ``shard_dir`` alone (with
+            ``num_shards > 1``) is how giant graphs avoid being re-
+            partitioned every run.
+        shard_method: partition assignment method (``"bfs"`` or
+            ``"hash"``) when the shard set has to be built.
         checkpoint_every: write a crash-safe training checkpoint every this
             many iterations (``None`` disables checkpointing).
         checkpoint_path: training-checkpoint file (``.npz`` appended when
@@ -120,6 +136,10 @@ class PrivIMConfig:
     workers: int = 1
     grad_workers: int = 1
     grad_mode: str = "vectorized"
+    num_shards: int = 1
+    shard_workers: int = 1
+    shard_dir: str | None = None
+    shard_method: str = "bfs"
     checkpoint_every: int | None = None
     checkpoint_path: str | None = None
     resume: bool = False
@@ -267,11 +287,16 @@ class _BasePipeline:
         #: The privacy-budget ledger of the last ``fit`` (``None`` until a
         #: private run with observability enabled completes).
         self.ledger: PrivacyLedger | None = None
+        # The shard rng comes LAST so the first three streams are the same
+        # values spawn_rngs(..., 3) produced before sharding existed —
+        # sharded and flat runs therefore sample bit-identically.
         (
             self._sampling_rng,
             self._model_rng,
             self._training_rng,
-        ) = spawn_rngs(ensure_rng(self.config.rng), 3)
+            self._shard_rng,
+        ) = spawn_rngs(ensure_rng(self.config.rng), 4)
+        self._shard_set_cache = None
 
     # subclasses implement ------------------------------------------------
     def _sample(
@@ -284,6 +309,45 @@ class _BasePipeline:
         :class:`~repro.sampling.store.SubgraphStoreWriter`.
         """
         raise NotImplementedError
+
+    # sharding ------------------------------------------------------------
+    @property
+    def _sharded(self) -> bool:
+        config = self.config
+        return config.num_shards > 1 or bool(config.shard_dir)
+
+    def _shard_set(self, graph: Graph):
+        """Shard set for ``graph``: loaded from ``shard_dir`` when one is
+        already persisted there, otherwise built (and saved when a
+        ``shard_dir`` is configured).  Cached for the pipeline's lifetime."""
+        if self._shard_set_cache is not None:
+            return self._shard_set_cache
+        from repro.sharding import ShardSet, build_shard_set
+
+        config = self.config
+        shard_set = None
+        if config.shard_dir and os.path.exists(
+            os.path.join(config.shard_dir, "shardset.bin")
+        ):
+            shard_set = ShardSet.load(config.shard_dir)
+            if shard_set.num_nodes != graph.num_nodes:
+                raise TrainingError(
+                    f"shard set at {config.shard_dir!r} covers "
+                    f"{shard_set.num_nodes} nodes but the graph has "
+                    f"{graph.num_nodes}; rebuild the shard set"
+                )
+        if shard_set is None:
+            shard_set = build_shard_set(
+                graph,
+                max(1, config.num_shards),
+                method=config.shard_method,
+                rng=self._shard_rng,
+                obs=self.obs,
+            )
+            if config.shard_dir:
+                shard_set.save(config.shard_dir)
+        self._shard_set_cache = shard_set
+        return shard_set
 
     # ---------------------------------------------------------------------
     def fit(self, graph: Graph) -> PipelineResult:
@@ -302,12 +366,21 @@ class _BasePipeline:
         )
         sink = None
         if config.subgraph_store:
-            from repro.sampling.store import SubgraphStoreWriter
+            store_meta = {"method": self.method_name, "num_nodes": graph.num_nodes}
+            if self._sharded:
+                from repro.sharding import ShardedStoreSink
 
-            sink = SubgraphStoreWriter(
-                config.subgraph_store,
-                meta={"method": self.method_name, "num_nodes": graph.num_nodes},
-            )
+                shard_set = self._shard_set(graph)
+                sink = ShardedStoreSink(
+                    config.subgraph_store + ".shards",
+                    shard_set.assignment,
+                    len(shard_set.shards),
+                    meta=store_meta,
+                )
+            else:
+                from repro.sampling.store import SubgraphStoreWriter
+
+                sink = SubgraphStoreWriter(config.subgraph_store, meta=store_meta)
         with obs.span("pipeline.sampling") as sampling_span:
             container, max_occurrences, stage1, stage2, sampling_stats = self._sample(
                 graph, sink
@@ -315,9 +388,18 @@ class _BasePipeline:
         preprocessing_seconds = sampling_span.seconds
         if sink is not None:
             # Seal the spilled shards and reopen the pool read-only: from
-            # here on, training touches subgraphs only through mmap.
+            # here on, training touches subgraphs only through mmap.  A
+            # sharded sink merges its per-shard stores back into global
+            # emission order (re-auditing the occurrence bound) first.
             with obs.span("pipeline.store_finalize") as span:
-                container = sink.finalize()
+                if hasattr(sink, "finalize_merged"):
+                    container = sink.finalize_merged(
+                        config.subgraph_store,
+                        expected_max_occurrence=max_occurrences,
+                        num_original_nodes=graph.num_nodes,
+                    )
+                else:
+                    container = sink.finalize()
             preprocessing_seconds += span.seconds
             obs.event(
                 "subgraph_store",
@@ -494,7 +576,21 @@ class PrivIM(_BasePipeline):
             restart_probability=config.restart_probability,
             workers=config.workers,
         )
-        run = sample_naive(graph, sampling, self._sampling_rng, obs=self.obs, sink=sink)
+        if self._sharded:
+            from repro.sharding import sample_naive_sharded
+
+            run = sample_naive_sharded(
+                self._shard_set(graph),
+                sampling,
+                self._sampling_rng,
+                workers=config.shard_workers,
+                obs=self.obs,
+                sink=sink,
+            )
+        else:
+            run = sample_naive(
+                graph, sampling, self._sampling_rng, obs=self.obs, sink=sink
+            )
         bound = max_occurrences_naive(config.theta, config.num_layers)
         return run.container, bound, len(run.container), 0, run.stats
 
@@ -537,9 +633,21 @@ class PrivIMStar(_BasePipeline):
             include_boundary=self.include_boundary,
             workers=config.workers,
         )
-        run = sample_dual_stage(
-            graph, sampling, self._sampling_rng, obs=self.obs, sink=sink
-        )
+        if self._sharded:
+            from repro.sharding import sample_dual_stage_sharded
+
+            run = sample_dual_stage_sharded(
+                self._shard_set(graph),
+                sampling,
+                self._sampling_rng,
+                workers=config.shard_workers,
+                obs=self.obs,
+                sink=sink,
+            )
+        else:
+            run = sample_dual_stage(
+                graph, sampling, self._sampling_rng, obs=self.obs, sink=sink
+            )
         bound = max_occurrences_dual_stage(config.threshold)
         return run.container, bound, run.stage1_count, run.stage2_count, run.stats
 

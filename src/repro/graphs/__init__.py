@@ -15,7 +15,12 @@ from repro.graphs.generators import (
     stochastic_block_graph,
     watts_strogatz_graph,
 )
-from repro.graphs.partition import partition_graph
+from repro.graphs.partition import (
+    PartitionStats,
+    compute_partition_stats,
+    partition_assignment,
+    partition_graph,
+)
 from repro.graphs.io import read_edge_list, write_edge_list
 from repro.graphs.metrics import (
     GraphSummary,
@@ -42,6 +47,9 @@ __all__ = [
     "powerlaw_cluster_graph",
     "stochastic_block_graph",
     "partition_graph",
+    "partition_assignment",
+    "compute_partition_stats",
+    "PartitionStats",
     "read_edge_list",
     "write_edge_list",
     "GraphSummary",

@@ -17,6 +17,11 @@ from repro.sampling.parallel import (
     sample_dual_stage,
     sample_naive,
 )
+from repro.sampling.store import (
+    SubgraphStore,
+    SubgraphStoreWriter,
+    merge_stores,
+)
 
 __all__ = [
     "Subgraph",
@@ -35,4 +40,7 @@ __all__ = [
     "DualStageRun",
     "sample_naive",
     "sample_dual_stage",
+    "SubgraphStore",
+    "SubgraphStoreWriter",
+    "merge_stores",
 ]

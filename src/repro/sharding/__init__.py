@@ -1,0 +1,58 @@
+"""Sharded giant-graph engine: edge-cut partitions with halo nodes.
+
+Scales the samplers past single-machine RAM while keeping the DP contract
+exact: the dual-stage occurrence caps ``N_g`` / ``N_g* = M`` are enforced
+*globally* by the coordinator, and sharded sampling is bit-identical to the
+serial single-graph sampler on the reassembled graph for every
+(num_shards, workers) pair — shards and workers are pure throughput knobs,
+never sampling parameters.
+
+Modules:
+
+* :mod:`~repro.sharding.partition` — :func:`build_shard_set` /
+  :class:`ShardSet`: per-shard compact CSR with halo ghosts, persisted in
+  the ``write_checksummed`` framing, loaded back via streaming verify +
+  ``mmap``.
+* :mod:`~repro.sharding.walker` — resumable walk tasks that carry their
+  RNG child stream across shard boundaries.
+* :mod:`~repro.sharding.runtime` — shard hosts, in-process or across
+  worker processes, with a shared-memory snapshot channel.
+* :mod:`~repro.sharding.coordinator` — :func:`sample_naive_sharded` /
+  :func:`sample_dual_stage_sharded`: chunk-synchronous propose/validate
+  across shards with cross-shard frontier exchange.
+* :mod:`~repro.sharding.sink` — :class:`ShardedStoreSink`: per-shard
+  subgraph stores merged back into emission order.
+"""
+
+from repro.sharding.partition import (
+    GraphShard,
+    ShardSet,
+    build_shard_set,
+    load_shard,
+)
+from repro.sharding.walker import WalkParams, WalkTask
+from repro.sharding.runtime import ShardRuntime
+from repro.sharding.coordinator import (
+    ShardedDualStageRun,
+    ShardedNaiveRun,
+    ShardedSamplingStats,
+    sample_dual_stage_sharded,
+    sample_naive_sharded,
+)
+from repro.sharding.sink import ShardedStoreSink
+
+__all__ = [
+    "GraphShard",
+    "ShardSet",
+    "build_shard_set",
+    "load_shard",
+    "WalkParams",
+    "WalkTask",
+    "ShardRuntime",
+    "ShardedSamplingStats",
+    "ShardedNaiveRun",
+    "ShardedDualStageRun",
+    "sample_naive_sharded",
+    "sample_dual_stage_sharded",
+    "ShardedStoreSink",
+]

@@ -1,0 +1,639 @@
+"""Sharded sampling coordinator: globally exact caps across shards.
+
+Drives the shard hosts of :mod:`repro.sharding.runtime` through the same
+chunk-synchronous propose/validate protocol ``sampling/parallel.py`` uses,
+extended with cross-shard frontier exchange:
+
+1. **Select** starts with the master generator, exactly as the serial
+   sampler does (same draws, same order).
+2. **Propose**: each start walks under its own child RNG stream on the
+   shard that owns its current node; a walk stepping onto a halo node is
+   suspended and forwarded — carrying its generator — to the owner shard
+   (BSP rounds, ``stats.exchange_rounds`` / ``stats.frontier_forwards``).
+3. **Validate**: the coordinator checks every finished walk *in start
+   order* against the live global occurrence counts and rejects any walk
+   touching a node at the cap, so ``N_g`` / ``N_g* = M`` hold exactly no
+   matter how many shards or workers ran the walks.
+4. **Induce + emit**: accepted node sets are induced distributedly (each
+   shard contributes the arcs of its owned rows) and emitted in start
+   order, so the output container is bit-identical to the serial sampler
+   on the reassembled graph — for every (num_shards, workers) pair.
+
+The master generator is consumed only for: the θ-projection draws (naive),
+the Bernoulli(q) selection mask per pass, and one root-entropy draw per
+pass — the identical consumption sequence of the serial engine, which is
+what makes the differential tests exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.graphs.graph import Graph
+from repro.obs import Observability, ensure_obs
+from repro.sampling.container import Subgraph, SubgraphContainer
+from repro.sampling.frequency import FrequencyVector
+from repro.sampling.parallel import SamplingStats, _chunks
+from repro.sharding.partition import GraphShard, ShardSet
+from repro.sharding.runtime import ShardRuntime
+from repro.sharding.walker import WalkParams, WalkTask
+from repro.utils.rng import child_generator, derive_root_entropy, ensure_rng
+
+__all__ = [
+    "ShardedSamplingStats",
+    "ShardedNaiveRun",
+    "ShardedDualStageRun",
+    "sample_naive_sharded",
+    "sample_dual_stage_sharded",
+]
+
+
+@dataclass
+class ShardedSamplingStats(SamplingStats):
+    """Engine counters plus frontier-exchange accounting."""
+
+    num_shards: int = 1
+    frontier_forwards: int = 0
+    exchange_rounds: int = 0
+    shard_seconds: dict[int, float] = field(default_factory=dict)
+    shard_walks: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class ShardedNaiveRun:
+    """Outcome of :func:`sample_naive_sharded`."""
+
+    container: SubgraphContainer
+    stats: ShardedSamplingStats
+    projected_shards: list[GraphShard] | None = None
+
+    def reassemble_projected(self) -> Graph:
+        """Rebuild the θ-projected graph from the per-shard projections
+        (available when sampling ran with ``return_projection=True``)."""
+        if self.projected_shards is None:
+            raise SamplingError(
+                "projection was not exported; pass return_projection=True"
+            )
+        template = self.projected_shards[0]
+        shard_set = ShardSet(
+            shards=self.projected_shards,
+            assignment=np.empty(0, dtype=np.int64),
+            num_nodes=template.num_global_nodes,
+            num_arcs=sum(len(s.out_local) for s in self.projected_shards),
+            directed=template.directed,
+            method="projected",
+        )
+        return shard_set.reassemble()
+
+
+@dataclass
+class ShardedDualStageRun:
+    """Outcome of :func:`sample_dual_stage_sharded`."""
+
+    container: SubgraphContainer
+    frequency: FrequencyVector
+    stage1_count: int
+    stage2_count: int
+    stats: ShardedSamplingStats
+
+
+# --------------------------------------------------------------------------- #
+# building blocks
+# --------------------------------------------------------------------------- #
+def _run_walks(
+    runtime: ShardRuntime,
+    assignment: np.ndarray,
+    tasks: list[WalkTask],
+    stats: ShardedSamplingStats,
+) -> dict[int, list[int] | None]:
+    """BSP frontier-exchange loop; returns ``{key: nodes_or_None}``."""
+    results: dict[int, list[int] | None] = {}
+    pending: dict[int, list[WalkTask]] = {}
+    for task in tasks:
+        pending.setdefault(int(assignment[task.start]), []).append(task)
+    while pending:
+        responses = runtime.request("walks", pending)
+        stats.exchange_rounds += 1
+        pending = {}
+        for shard_id in sorted(responses):
+            response = responses[shard_id]
+            for key, nodes in response["finished"]:
+                results[key] = nodes
+            for dest in sorted(response["forward"]):
+                walks = response["forward"][dest]
+                stats.frontier_forwards += len(walks)
+                pending.setdefault(int(dest), []).extend(walks)
+    return results
+
+
+def _expand_balls(
+    runtime: ShardRuntime,
+    assignment: np.ndarray,
+    starts: np.ndarray,
+    hops: int,
+    direction: str,
+    use_projected: bool,
+) -> dict[int, set[int]]:
+    """Distributed r-hop balls: lockstep BFS, rows served by owner shards."""
+    balls: dict[int, set[int]] = {int(s): {int(s)} for s in starts}
+    frontiers: dict[int, list[int]] = {int(s): [int(s)] for s in starts}
+    for _depth in range(hops):
+        needed = sorted({node for frontier in frontiers.values() for node in frontier})
+        if not needed:
+            break
+        by_shard: dict[int, list[int]] = {}
+        for node in needed:
+            by_shard.setdefault(int(assignment[node]), []).append(node)
+        responses = runtime.request(
+            "ball_rows",
+            {
+                shard_id: {
+                    "nodes": np.asarray(nodes, dtype=np.int64),
+                    "direction": direction,
+                    "use_projected": use_projected,
+                }
+                for shard_id, nodes in by_shard.items()
+            },
+        )
+        rows: dict[int, np.ndarray] = {}
+        for shard_id in sorted(responses):
+            rows.update(responses[shard_id])
+        next_frontiers: dict[int, list[int]] = {}
+        for start in frontiers:
+            ball = balls[start]
+            grown: list[int] = []
+            for node in frontiers[start]:
+                for neighbour in rows[node]:
+                    neighbour = int(neighbour)
+                    if neighbour not in ball:
+                        ball.add(neighbour)
+                        grown.append(neighbour)
+            next_frontiers[start] = grown
+        frontiers = next_frontiers
+    return balls
+
+
+def _build_induced(
+    node_array: np.ndarray,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    weights: np.ndarray,
+    directed: bool,
+) -> Graph:
+    """Assemble an induced subgraph exactly as ``Graph.subgraph`` would."""
+    order_positions = np.argsort(node_array)
+    sorted_ids = node_array[order_positions]
+    if len(sources):
+        local_sources = order_positions[np.searchsorted(sorted_ids, sources)]
+        local_targets = order_positions[np.searchsorted(sorted_ids, targets)]
+        edges = np.stack([local_sources, local_targets], axis=1)
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+    subgraph = Graph(len(node_array), edges, weights, directed=True)
+    subgraph.is_directed = directed
+    return subgraph
+
+
+def _induce_subgraphs(
+    runtime: ShardRuntime,
+    assignment: np.ndarray,
+    node_lists: list[np.ndarray],
+    directed: bool,
+    use_projected: bool,
+) -> list[Graph]:
+    """Distributed induction of many node sets, preserving list order."""
+    if not node_lists:
+        return []
+    requests_by_shard: dict[int, list] = {}
+    metadata: list[tuple[np.ndarray, list[int]]] = []
+    for request_id, nodes in enumerate(node_lists):
+        node_array = np.asarray(nodes, dtype=np.int64)
+        sorted_nodes = np.sort(node_array)
+        owners = sorted(int(owner) for owner in np.unique(assignment[node_array]))
+        metadata.append((node_array, owners))
+        for owner in owners:
+            requests_by_shard.setdefault(owner, []).append((request_id, sorted_nodes))
+    responses = runtime.request(
+        "induce",
+        {
+            shard_id: {"requests": requests, "use_projected": use_projected}
+            for shard_id, requests in requests_by_shard.items()
+        },
+    )
+    subgraphs: list[Graph] = []
+    for request_id, (node_array, owners) in enumerate(metadata):
+        fragments = [responses[owner][request_id] for owner in owners]
+        sources = np.concatenate([fragment[0] for fragment in fragments])
+        targets = np.concatenate([fragment[1] for fragment in fragments])
+        weights = np.concatenate([fragment[2] for fragment in fragments])
+        # Each global source lives in exactly one fragment, so a stable
+        # sort by source reproduces edge_arrays() order: ascending source,
+        # original row order within each source.
+        order = np.argsort(sources, kind="stable")
+        subgraphs.append(
+            _build_induced(
+                node_array, sources[order], targets[order], weights[order], directed
+            )
+        )
+    return subgraphs
+
+
+def _distributed_projection(
+    runtime: ShardRuntime,
+    shard_set: ShardSet,
+    theta: int,
+    generator: np.random.Generator,
+) -> None:
+    """Distributed θ-projection, draw-for-draw with ``project_in_degree``.
+
+    Phase A gathers in-degrees; phase B replays the serial keep draws on
+    the coordinator (node order 0..N-1, one ``choice`` per over-θ node);
+    phase C has owner shards build their projected in rows and emit out-arc
+    fragments to each source's owner; phase D assembles the projected out
+    rows.  The projection stays sharded — it is never materialised whole.
+    """
+    num_nodes = shard_set.num_nodes
+    responses = runtime.broadcast("in_degrees", None)
+    in_degrees = np.zeros(num_nodes, dtype=np.int64)
+    for shard_id in sorted(responses):
+        owned, degrees = responses[shard_id]
+        in_degrees[owned] = degrees
+
+    keep_by_shard: dict[int, dict[int, np.ndarray]] = {
+        shard_id: {} for shard_id in range(shard_set.num_shards)
+    }
+    assignment = shard_set.assignment
+    for node in range(num_nodes):
+        degree = int(in_degrees[node])
+        if degree > theta:
+            keep = generator.choice(degree, size=theta, replace=False)
+            keep_by_shard[int(assignment[node])][node] = keep
+
+    keep_responses = runtime.request(
+        "project_keep",
+        {
+            shard_id: {"keep": keep_by_shard[shard_id]}
+            for shard_id in range(shard_set.num_shards)
+        },
+    )
+    fragments_by_dest: dict[int, list] = {
+        shard_id: [] for shard_id in range(shard_set.num_shards)
+    }
+    for shard_id in sorted(keep_responses):
+        shard_fragments = keep_responses[shard_id]
+        for dest in sorted(shard_fragments):
+            fragments_by_dest[int(dest)].append(shard_fragments[dest])
+    runtime.request(
+        "project_out",
+        {
+            shard_id: {"fragments": fragments_by_dest[shard_id]}
+            for shard_id in range(shard_set.num_shards)
+        },
+    )
+
+
+def _collect_shard_stats(
+    runtime: ShardRuntime, stats: ShardedSamplingStats, obs: Observability
+) -> None:
+    for shard_id, shard_stats in sorted(runtime.stats().items()):
+        stats.shard_seconds[shard_id] = float(shard_stats["seconds"])
+        stats.shard_walks[shard_id] = int(shard_stats["walks_advanced"])
+        if obs.enabled:
+            obs.gauge(f"sampling.shard.{shard_id:02d}.seconds").set(
+                float(shard_stats["seconds"])
+            )
+
+
+def _publish_sharded_stats(
+    obs: Observability, algorithm: str, stats: ShardedSamplingStats
+) -> None:
+    if not obs.enabled:
+        return
+    obs.counter("sampling.starts_selected").inc(stats.starts_selected)
+    obs.counter("sampling.starts_skipped").inc(stats.starts_skipped)
+    obs.counter("sampling.walks_attempted").inc(stats.walks_attempted)
+    obs.counter("sampling.walks_failed").inc(stats.walks_failed)
+    obs.counter("sampling.walks_rejected").inc(stats.walks_rejected)
+    obs.counter("sampling.subgraphs_emitted").inc(stats.subgraphs_emitted)
+    obs.counter("sampling.sharded.frontier_forwards").inc(stats.frontier_forwards)
+    obs.counter("sampling.sharded.exchange_rounds").inc(stats.exchange_rounds)
+    obs.gauge("sampling.cap_hit_rate").set(stats.cap_hit_rate)
+    obs.event(
+        "sampling",
+        algorithm=algorithm,
+        workers=stats.workers,
+        num_shards=stats.num_shards,
+        chunk_size=stats.chunk_size,
+        starts_selected=stats.starts_selected,
+        starts_skipped=stats.starts_skipped,
+        walks_attempted=stats.walks_attempted,
+        walks_failed=stats.walks_failed,
+        walks_rejected=stats.walks_rejected,
+        subgraphs_emitted=stats.subgraphs_emitted,
+        cap_hit_rate=stats.cap_hit_rate,
+        frontier_forwards=stats.frontier_forwards,
+        exchange_rounds=stats.exchange_rounds,
+        stage_seconds=dict(stats.stage_seconds),
+        shard_seconds={str(k): v for k, v in stats.shard_seconds.items()},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 1 — sharded
+# --------------------------------------------------------------------------- #
+def sample_naive_sharded(
+    shard_set: ShardSet,
+    config,
+    rng: int | np.random.Generator | None = None,
+    *,
+    workers: int = 1,
+    obs: Observability | None = None,
+    sink=None,
+    return_projection: bool = False,
+) -> ShardedNaiveRun:
+    """Run Algorithm 1 across edge-cut shards, bit-identical to
+    :func:`repro.sampling.sample_naive` on the reassembled graph.
+
+    ``workers`` counts shard-worker *processes* (shards are assigned
+    round-robin); ``config`` is the usual
+    :class:`~repro.sampling.naive.NaiveSamplingConfig`.
+    """
+    config.validate()
+    obs = ensure_obs(obs)
+    generator = ensure_rng(rng)
+    assignment = shard_set.assignment
+    stats = ShardedSamplingStats(
+        chunk_size=config.chunk_size, num_shards=shard_set.num_shards
+    )
+    stats.stage_seconds["projection"] = 0.0
+    stats.stage_seconds["walks"] = 0.0
+    container = SubgraphContainer() if sink is None else sink
+    projected_shards = None
+
+    with ShardRuntime(shard_set, workers=workers, snapshot=False) as runtime:
+        stats.workers = runtime.workers
+        with obs.span("sampling.projection") as span:
+            _distributed_projection(runtime, shard_set, config.theta, generator)
+        stats.stage_seconds["projection"] = span.seconds
+
+        selected = np.flatnonzero(
+            generator.random(shard_set.num_nodes) < config.sampling_rate
+        )
+        root = derive_root_entropy(generator)
+        stats.starts_selected = int(len(selected))
+
+        params = WalkParams(
+            kind="uniform",
+            target_size=config.subgraph_size,
+            walk_length=config.walk_length,
+            restart_probability=config.restart_probability,
+            direction=config.direction,
+            use_projected=True,
+        )
+        runtime.broadcast("stage", {"params": params, "availability": None})
+
+        with obs.span("sampling.walks") as span:
+            for chunk in _chunks(selected, config.chunk_size):
+                balls = _expand_balls(
+                    runtime, assignment, chunk, config.hops, config.direction, True
+                )
+                statuses: list[tuple[int, bool]] = []
+                tasks: list[WalkTask] = []
+                for node in chunk:
+                    node = int(node)
+                    if len(balls[node]) < config.subgraph_size:
+                        statuses.append((node, True))
+                        continue
+                    statuses.append((node, False))
+                    tasks.append(
+                        WalkTask(
+                            key=node,
+                            start=node,
+                            start_owner=int(assignment[node]),
+                            current=node,
+                            steps=0,
+                            restart_drawn=False,
+                            visited=[node],
+                            generator=child_generator(root, node),
+                            allowed=frozenset(balls[node]),
+                        )
+                    )
+                results = _run_walks(runtime, assignment, tasks, stats)
+                accepted: list[np.ndarray] = []
+                accept_order: list[int] = []
+                for node, skipped in statuses:
+                    if skipped:
+                        stats.starts_skipped += 1
+                        continue
+                    stats.walks_attempted += 1
+                    nodes = results[node]
+                    if nodes is None:
+                        stats.walks_failed += 1
+                        continue
+                    accepted.append(np.asarray(nodes, dtype=np.int64))
+                    accept_order.append(node)
+                subgraphs = _induce_subgraphs(
+                    runtime, assignment, accepted, shard_set.directed, True
+                )
+                for node_map, subgraph in zip(accepted, subgraphs):
+                    container.add(Subgraph(subgraph, node_map))
+                    stats.subgraphs_emitted += 1
+        stats.stage_seconds["walks"] = span.seconds
+
+        if return_projection:
+            projections = runtime.broadcast("export_projection", None)
+            projected_shards = []
+            for shard_id in sorted(projections):
+                base = shard_set.shards[shard_id]
+                projected_shards.append(
+                    GraphShard(
+                        base.shard_id,
+                        base.num_shards,
+                        base.num_global_nodes,
+                        base.directed,
+                        base.owned,
+                        base.halo,
+                        base.halo_owner,
+                        *projections[shard_id],
+                    )
+                )
+        _collect_shard_stats(runtime, stats, obs)
+
+    _publish_sharded_stats(obs, "naive_sharded", stats)
+    return ShardedNaiveRun(
+        container=container, stats=stats, projected_shards=projected_shards
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 3 — sharded
+# --------------------------------------------------------------------------- #
+def _frequency_pass_sharded(
+    runtime: ShardRuntime,
+    assignment: np.ndarray,
+    frequency: FrequencyVector,
+    walk_to_global: np.ndarray,
+    availability: np.ndarray | None,
+    subgraph_size: int,
+    config,
+    generator: np.random.Generator,
+    container,
+    stats: ShardedSamplingStats,
+    directed: bool,
+) -> int:
+    """One chunk-synchronous FreqSampling pass across shards.
+
+    Mirrors ``sampling.parallel._frequency_pass`` exactly, with the live
+    counts and the published snapshot held in *global* id space (the
+    serial pass holds walk-local views of the same values, so the draws
+    and validation outcomes coincide draw-for-draw).
+    """
+    live = frequency.counts.copy()
+    selected = np.flatnonzero(
+        generator.random(len(walk_to_global)) < config.sampling_rate
+    )
+    root = derive_root_entropy(generator)
+    stats.starts_selected += int(len(selected))
+    if not len(selected):
+        return 0
+
+    params = WalkParams(
+        kind="frequency",
+        target_size=subgraph_size,
+        walk_length=config.walk_length,
+        restart_probability=config.restart_probability,
+        direction=config.direction,
+        threshold=config.threshold,
+        decay=config.decay,
+    )
+    runtime.broadcast("stage", {"params": params, "availability": availability})
+
+    emitted = 0
+    for chunk in _chunks(selected, config.chunk_size):
+        runtime.write_snapshot(live)
+        statuses: list[tuple[int, bool]] = []
+        tasks: list[WalkTask] = []
+        for local in chunk:
+            local = int(local)
+            start = int(walk_to_global[local])
+            if live[start] >= config.threshold:
+                statuses.append((local, True))
+                continue
+            statuses.append((local, False))
+            tasks.append(
+                WalkTask(
+                    key=local,
+                    start=start,
+                    start_owner=int(assignment[start]),
+                    current=start,
+                    steps=0,
+                    restart_drawn=False,
+                    visited=[start],
+                    generator=child_generator(root, local),
+                )
+            )
+        results = _run_walks(runtime, assignment, tasks, stats)
+        accepted: list[np.ndarray] = []
+        for local, skipped in statuses:
+            if skipped:
+                stats.starts_skipped += 1
+                continue
+            stats.walks_attempted += 1
+            nodes = results[local]
+            if nodes is None:
+                stats.walks_failed += 1
+                continue
+            node_map = np.asarray(nodes, dtype=np.int64)
+            if np.any(live[node_map] >= config.threshold):
+                stats.walks_rejected += 1
+                continue
+            live[node_map] += 1
+            frequency.record_subgraph(node_map)
+            accepted.append(node_map)
+        subgraphs = _induce_subgraphs(runtime, assignment, accepted, directed, False)
+        for node_map, subgraph in zip(accepted, subgraphs):
+            container.add(Subgraph(subgraph, node_map))
+            emitted += 1
+    stats.subgraphs_emitted += emitted
+    return emitted
+
+
+def sample_dual_stage_sharded(
+    shard_set: ShardSet,
+    config,
+    rng: int | np.random.Generator | None = None,
+    *,
+    workers: int = 1,
+    obs: Observability | None = None,
+    sink=None,
+) -> ShardedDualStageRun:
+    """Run Algorithm 3 across edge-cut shards with globally exact caps,
+    bit-identical to :func:`repro.sampling.sample_dual_stage` on the
+    reassembled graph for every (num_shards, workers) pair.
+    """
+    config.validate()
+    obs = ensure_obs(obs)
+    generator = ensure_rng(rng)
+    assignment = shard_set.assignment
+    num_nodes = shard_set.num_nodes
+    stats = ShardedSamplingStats(
+        chunk_size=config.chunk_size, num_shards=shard_set.num_shards
+    )
+    stats.stage_seconds["stage1"] = 0.0
+    stats.stage_seconds["stage2"] = 0.0
+
+    frequency = FrequencyVector(num_nodes, config.threshold)
+    container = SubgraphContainer() if sink is None else sink
+
+    with ShardRuntime(shard_set, workers=workers, snapshot=True) as runtime:
+        stats.workers = runtime.workers
+        with obs.span("sampling.stage1") as span:
+            stage1_count = _frequency_pass_sharded(
+                runtime,
+                assignment,
+                frequency,
+                np.arange(num_nodes, dtype=np.int64),
+                None,
+                config.subgraph_size,
+                config,
+                generator,
+                container,
+                stats,
+                shard_set.directed,
+            )
+        stats.stage_seconds["stage1"] = span.seconds
+
+        stage2_count = 0
+        if config.include_boundary:
+            with obs.span("sampling.stage2") as span:
+                remaining = frequency.available_nodes()
+                if len(remaining) >= config.boundary_subgraph_size:
+                    availability = np.zeros(num_nodes, dtype=bool)
+                    availability[remaining] = True
+                    stage2_count = _frequency_pass_sharded(
+                        runtime,
+                        assignment,
+                        frequency,
+                        remaining,
+                        availability,
+                        config.boundary_subgraph_size,
+                        config,
+                        generator,
+                        container,
+                        stats,
+                        shard_set.directed,
+                    )
+            stats.stage_seconds["stage2"] = span.seconds
+        _collect_shard_stats(runtime, stats, obs)
+
+    _publish_sharded_stats(obs, "dual_stage_sharded", stats)
+    return ShardedDualStageRun(
+        container=container,
+        frequency=frequency,
+        stage1_count=stage1_count,
+        stage2_count=stage2_count,
+        stats=stats,
+    )

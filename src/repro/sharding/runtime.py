@@ -1,0 +1,416 @@
+"""Shard worker runtime: hosts shards in-process or across processes.
+
+The coordinator (``repro.sharding.coordinator``) speaks one request shape:
+``request(kind, {shard_id: payload})`` → ``{shard_id: response}``.  A
+:class:`ShardRuntime` maps shards onto *hosts* — plain objects that answer
+requests against one shard's :class:`~repro.sharding.walker.ShardView` —
+and places hosts either in the coordinator process (``workers == 1``) or
+round-robin across long-lived worker processes connected by pipes.
+
+Each worker owns only the shards it hosts; when a shard set was loaded
+from disk, workers re-map their shard files themselves, so per-process RSS
+stays bounded by the hosted shards, never the whole graph.  The live-count
+snapshot (the chunk-synchronous frequency snapshot of
+``sampling/parallel.py``) is published once per chunk through a shared
+memory segment every worker attaches to; if shared memory is unavailable
+the snapshot ships inside a broadcast message instead — slower, but
+bit-identical.
+
+Determinism: requests are dispatched and collected in sorted shard order,
+and every host is a pure function of (shard contents, request payload,
+snapshot), so responses never depend on worker count or scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.sampling.parallel import _attach_shared_memory, resolve_workers
+from repro.sharding.partition import GraphShard, ShardSet, load_shard
+from repro.sharding.walker import ShardView, WalkParams, WalkTask, advance_walk
+
+__all__ = ["ShardRuntime"]
+
+
+class _ShardHost:
+    """Serves coordinator requests against one shard."""
+
+    def __init__(self, shard: GraphShard) -> None:
+        self.view = ShardView(shard)
+        self.params: WalkParams | None = None
+        self.seconds = 0.0
+        self.walks_advanced = 0
+        self.forwards_out = 0
+
+    # ------------------------------------------------------------------ #
+    def handle(self, kind: str, payload):
+        began = time.perf_counter()
+        try:
+            return getattr(self, f"_handle_{kind}")(payload)
+        finally:
+            self.seconds += time.perf_counter() - began
+
+    def _handle_stage(self, payload):
+        self.params = payload["params"]
+        availability = payload.get("availability")
+        self.view.availability = availability
+        return True
+
+    def _handle_walks(self, payload):
+        finished: list[tuple[int, list[int] | None]] = []
+        forward: dict[int, list[WalkTask]] = {}
+        for walk in payload:
+            self.walks_advanced += 1
+            status, value = advance_walk(walk, self.params, self.view)
+            if status == "done":
+                finished.append((walk.key, value))
+            else:
+                walk.forwards += 1
+                self.forwards_out += 1
+                forward.setdefault(value, []).append(walk)
+        return {"finished": finished, "forward": forward}
+
+    def _handle_ball_rows(self, payload):
+        direction = payload["direction"]
+        use_projected = payload["use_projected"]
+        return {
+            int(node): self.view.ball_neighbors(int(node), direction, use_projected)
+            for node in payload["nodes"]
+        }
+
+    def _handle_induce(self, payload):
+        use_projected = payload["use_projected"]
+        return {
+            request_id: self.view.induced_arcs(nodes_sorted, use_projected)
+            for request_id, nodes_sorted in payload["requests"]
+        }
+
+    def _handle_in_degrees(self, payload):
+        shard = self.view.shard
+        return shard.owned, np.diff(shard.in_indptr)
+
+    def _handle_project_keep(self, payload):
+        """Phase C of the distributed θ-projection: build the projected
+        *in* rows of owned nodes and emit out-arc fragments grouped by the
+        owner shard of each kept source."""
+        keep_map = payload["keep"]
+        shard = self.view.shard
+        in_indptr_parts = [0]
+        in_local_parts: list[np.ndarray] = []
+        in_weight_parts: list[np.ndarray] = []
+        fragments: dict[int, list[tuple[np.ndarray, ...]]] = {}
+        for pos in range(shard.num_owned):
+            node = int(shard.owned[pos])
+            window = slice(int(shard.in_indptr[pos]), int(shard.in_indptr[pos + 1]))
+            local_sources = shard.in_local[window]
+            weights = shard.in_weights[window]
+            keep = keep_map.get(node)
+            if keep is not None:
+                local_sources = local_sources[keep]
+                weights = weights[keep]
+            in_indptr_parts.append(in_indptr_parts[-1] + len(local_sources))
+            in_local_parts.append(local_sources)
+            in_weight_parts.append(weights)
+            if len(local_sources) == 0:
+                continue
+            global_sources = shard.global_ids[local_sources]
+            if shard.num_halo:
+                owners = np.where(
+                    local_sources < shard.num_owned,
+                    shard.shard_id,
+                    shard.halo_owner[
+                        np.minimum(
+                            np.maximum(local_sources - shard.num_owned, 0),
+                            shard.num_halo - 1,
+                        )
+                    ],
+                )
+            else:
+                owners = np.full(len(local_sources), shard.shard_id, dtype=np.int64)
+            positions = np.arange(len(global_sources), dtype=np.int64)
+            for owner in np.unique(owners):
+                mask = owners == owner
+                fragments.setdefault(int(owner), []).append(
+                    (
+                        global_sources[mask],
+                        np.full(int(mask.sum()), node, dtype=np.int64),
+                        positions[mask],
+                        weights[mask],
+                    )
+                )
+        in_indptr = np.asarray(in_indptr_parts, dtype=np.int64)
+        in_local = (
+            np.concatenate(in_local_parts)
+            if in_local_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        in_weights = (
+            np.concatenate(in_weight_parts)
+            if in_weight_parts
+            else np.empty(0, dtype=np.float64)
+        )
+        self._projected_in = (in_indptr, in_local, in_weights)
+        merged: dict[int, tuple[np.ndarray, ...]] = {}
+        for owner, parts in fragments.items():
+            merged[owner] = tuple(
+                np.concatenate([part[i] for part in parts]) for i in range(4)
+            )
+        return merged
+
+    def _handle_project_out(self, payload):
+        """Phase D: assemble the projected *out* rows from fragments and
+        install the projection on the view."""
+        shard = self.view.shard
+        parts = payload["fragments"]
+        if parts:
+            sources = np.concatenate([part[0] for part in parts])
+            targets = np.concatenate([part[1] for part in parts])
+            positions = np.concatenate([part[2] for part in parts])
+            weights = np.concatenate([part[3] for part in parts])
+        else:
+            sources = targets = positions = np.empty(0, dtype=np.int64)
+            weights = np.empty(0, dtype=np.float64)
+        # Serial project_in_degree rebuilds the graph from the edge list
+        # ordered by (target ascending, kept-position ascending); the
+        # stable CSR sort then leaves each out row ordered the same way.
+        order = np.lexsort((positions, targets, sources))
+        sources = sources[order]
+        targets = targets[order]
+        weights = weights[order]
+        source_positions = shard.to_local(sources)
+        counts = np.bincount(source_positions, minlength=shard.num_owned)
+        out_indptr = np.zeros(shard.num_owned + 1, dtype=np.int64)
+        np.cumsum(counts, out=out_indptr[1:])
+        out_local = shard.to_local(targets)
+        in_indptr, in_local, in_weights = self._projected_in
+        del self._projected_in
+        self.view.projection = (
+            out_indptr,
+            out_local,
+            weights,
+            in_indptr,
+            in_local,
+            in_weights,
+        )
+        return True
+
+    def _handle_export_projection(self, payload):
+        return self.view.projection
+
+    def _handle_drop_projection(self, payload):
+        self.view.projection = None
+        return True
+
+    def _handle_snapshot(self, payload):
+        self.view.snapshot = payload
+        return True
+
+    def _handle_stats(self, payload):
+        return {
+            "seconds": self.seconds,
+            "walks_advanced": self.walks_advanced,
+            "forwards_out": self.forwards_out,
+            "num_owned": self.view.shard.num_owned,
+            "num_halo": self.view.shard.num_halo,
+        }
+
+
+def _shard_worker_main(connection, shard_specs, snapshot_name) -> None:
+    """Worker process loop: map shards, attach snapshot, serve requests."""
+    hosts: dict[int, _ShardHost] = {}
+    for shard_id, spec in shard_specs:
+        shard = load_shard(spec) if isinstance(spec, str) else spec
+        hosts[shard_id] = _ShardHost(shard)
+    segment = None
+    if snapshot_name is not None:
+        segment = _attach_shared_memory(snapshot_name)
+        snapshot = np.frombuffer(segment.buf, dtype=np.int64)
+        for host in hosts.values():
+            host.view.snapshot = snapshot
+    try:
+        while True:
+            message = connection.recv()
+            if message is None:
+                break
+            kind, by_shard = message
+            response = {
+                shard_id: hosts[shard_id].handle(kind, payload)
+                for shard_id, payload in sorted(by_shard.items())
+            }
+            connection.send(response)
+    finally:
+        for host in hosts.values():
+            host.view.snapshot = None
+        if segment is not None:
+            del snapshot
+            segment.close()
+        connection.close()
+
+
+class ShardRuntime:
+    """Places shard hosts in-process or across worker processes."""
+
+    def __init__(
+        self,
+        shard_set: ShardSet,
+        *,
+        workers: int = 1,
+        snapshot: bool = False,
+    ) -> None:
+        self.shard_set = shard_set
+        self.num_shards = shard_set.num_shards
+        self.workers = max(1, min(resolve_workers(workers), self.num_shards))
+        self._hosts: dict[int, _ShardHost] | None = None
+        self._processes: list = []
+        self._connections: list = []
+        self._worker_of: dict[int, int] = {
+            shard_id: shard_id % self.workers for shard_id in range(self.num_shards)
+        }
+        self._segment = None
+        self._snapshot_array: np.ndarray | None = None
+        self._ship_snapshot = False
+
+        if snapshot:
+            self._create_snapshot_channel()
+        if self.workers == 1:
+            self._hosts = {
+                shard_id: _ShardHost(shard)
+                for shard_id, shard in enumerate(shard_set.shards)
+            }
+            if self._snapshot_array is not None:
+                for host in self._hosts.values():
+                    host.view.snapshot = self._snapshot_array
+        else:
+            self._start_workers(snapshot)
+
+    # ------------------------------------------------------------------ #
+    def _create_snapshot_channel(self) -> None:
+        length = max(int(self.shard_set.num_nodes), 1)
+        if self.workers == 1:
+            # In-process hosts share the coordinator's array directly.
+            self._snapshot_array = np.zeros(length, dtype=np.int64)
+            return
+        try:
+            from multiprocessing import shared_memory
+
+            self._segment = shared_memory.SharedMemory(
+                create=True, size=8 * length
+            )
+            self._snapshot_array = np.frombuffer(
+                self._segment.buf, dtype=np.int64
+            )
+            self._snapshot_array[:] = 0
+        except (ImportError, OSError):
+            self._segment = None
+            self._snapshot_array = np.zeros(length, dtype=np.int64)
+            self._ship_snapshot = True
+
+    def _start_workers(self, snapshot: bool) -> None:
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = multiprocessing.get_context("spawn")
+        paths = self.shard_set.shard_paths()
+        specs_by_worker: dict[int, list] = {w: [] for w in range(self.workers)}
+        for shard_id in range(self.num_shards):
+            if paths is not None and os.path.exists(paths[shard_id]):
+                spec = paths[shard_id]
+            else:
+                spec = self.shard_set.shards[shard_id]
+            specs_by_worker[self._worker_of[shard_id]].append((shard_id, spec))
+        snapshot_name = (
+            self._segment.name if (snapshot and self._segment is not None) else None
+        )
+        for worker_index in range(self.workers):
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(child_end, specs_by_worker[worker_index], snapshot_name),
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            self._processes.append(process)
+            self._connections.append(parent_end)
+
+    # ------------------------------------------------------------------ #
+    def write_snapshot(self, counts: np.ndarray) -> None:
+        """Publish the chunk's live-count snapshot to every host."""
+        if self._snapshot_array is None:
+            raise SamplingError("runtime was created without a snapshot channel")
+        self._snapshot_array[: len(counts)] = counts
+        if self._hosts is not None:
+            return
+        if self._ship_snapshot:
+            self.broadcast("snapshot", self._snapshot_array.copy())
+
+    def request(self, kind: str, payload_by_shard: dict[int, object]) -> dict[int, object]:
+        """Send one request per addressed shard; gather responses."""
+        if not payload_by_shard:
+            return {}
+        if self._hosts is not None:
+            return {
+                shard_id: self._hosts[shard_id].handle(kind, payload)
+                for shard_id, payload in sorted(payload_by_shard.items())
+            }
+        by_worker: dict[int, dict[int, object]] = {}
+        for shard_id, payload in payload_by_shard.items():
+            by_worker.setdefault(self._worker_of[shard_id], {})[shard_id] = payload
+        for worker_index in sorted(by_worker):
+            self._connections[worker_index].send((kind, by_worker[worker_index]))
+        responses: dict[int, object] = {}
+        for worker_index in sorted(by_worker):
+            responses.update(self._connections[worker_index].recv())
+        return responses
+
+    def broadcast(self, kind: str, payload) -> dict[int, object]:
+        return self.request(
+            kind, {shard_id: payload for shard_id in range(self.num_shards)}
+        )
+
+    def stats(self) -> dict[int, dict]:
+        return self.broadcast("stats", None)
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        for connection in self._connections:
+            try:
+                connection.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        self._connections = []
+        self._processes = []
+        if self._hosts is not None:
+            for host in self._hosts.values():
+                host.view.snapshot = None
+            self._hosts = None
+        if self._segment is not None:
+            self._snapshot_array = None
+            try:
+                self._segment.close()
+                self._segment.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+            self._segment = None
+
+    def __enter__(self) -> "ShardRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,101 @@
+"""Per-shard store sink: accepted subgraphs spill to their owner shard.
+
+The coordinator emits accepted subgraphs in global start order; a
+:class:`ShardedStoreSink` routes each one to a per-shard
+:class:`~repro.sampling.store.SubgraphStoreWriter` (owner = the shard that
+owns the walk's start node, i.e. ``node_map[0]``) while recording the
+global emission sequence number in each store's metadata.  After
+``finalize``, :func:`repro.sampling.store.merge_stores` interleaves the
+per-shard stores back into one store in exact emission order, so training
+from the merged store is bit-identical to training from a store written by
+the serial sampler — the per-shard stores are a pure layout detail.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.sampling.store import (
+    DEFAULT_SHARD_BYTES,
+    SubgraphStore,
+    SubgraphStoreWriter,
+    merge_stores,
+)
+
+__all__ = ["ShardedStoreSink"]
+
+
+class ShardedStoreSink:
+    """Routes emitted subgraphs into per-shard subgraph stores."""
+
+    def __init__(
+        self,
+        base_dir: str | os.PathLike,
+        assignment: np.ndarray,
+        num_shards: int,
+        *,
+        meta: dict | None = None,
+        shard_bytes: int = DEFAULT_SHARD_BYTES,
+    ) -> None:
+        self.base_dir = os.fspath(base_dir)
+        self._assignment = np.asarray(assignment, dtype=np.int64)
+        self.num_shards = int(num_shards)
+        self._sequence = 0
+        self._sequences: list[list[int]] = [[] for _ in range(self.num_shards)]
+        self._writers: list[SubgraphStoreWriter] = []
+        for shard_id in range(self.num_shards):
+            path = self.store_path(shard_id)
+            self._writers.append(
+                SubgraphStoreWriter(
+                    path,
+                    shard_bytes=shard_bytes,
+                    meta={**(meta or {}), "sampler_shard": shard_id},
+                )
+            )
+
+    def store_path(self, shard_id: int) -> str:
+        return os.path.join(self.base_dir, f"shard-{shard_id:02d}")
+
+    def add(self, subgraph) -> None:
+        start = int(subgraph.node_map[0])
+        owner = int(self._assignment[start])
+        self._sequences[owner].append(self._sequence)
+        self._sequence += 1
+        self._writers[owner].add(subgraph)
+
+    def __len__(self) -> int:
+        return self._sequence
+
+    def finalize(self) -> list[SubgraphStore]:
+        """Finalize every per-shard store; returns them in shard order."""
+        stores = []
+        for shard_id, writer in enumerate(self._writers):
+            writer.set_meta("sequence", self._sequences[shard_id])
+            stores.append(writer.finalize())
+        return stores
+
+    def finalize_merged(
+        self,
+        out: str | os.PathLike,
+        *,
+        expected_max_occurrence: int | None = None,
+        num_original_nodes: int | None = None,
+    ) -> SubgraphStore:
+        """Finalize the per-shard stores and merge them, in emission order,
+        into one store at ``out``."""
+        stores = self.finalize()
+        paths = [store.path for store in stores]
+        for store in stores:
+            store.close()
+        return merge_stores(
+            paths,
+            out,
+            expected_max_occurrence=expected_max_occurrence,
+            num_original_nodes=num_original_nodes,
+        )
+
+    def abort(self) -> None:
+        for writer in self._writers:
+            writer.abort()

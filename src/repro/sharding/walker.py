@@ -1,0 +1,244 @@
+"""Resumable random-walk state machine for sharded sampling.
+
+The serial oracle is :func:`repro.sampling.random_walk.random_walk_nodes`:
+one restart draw, one chooser draw per step, candidates consumed in CSR row
+order ("out"/"in") or sorted-unique order ("both").  A :class:`WalkTask`
+carries exactly the state that loop holds between steps — current node,
+step count, visited list, and the walk's own child RNG — so a walk can be
+suspended mid-step when it lands on a node another shard owns, forwarded to
+that shard's worker, and resumed there **without losing or reordering a
+single RNG draw**.
+
+The one subtlety is the restart draw: it happens *before* we know which
+node the step leaves from (a restart teleports the walk back to its start).
+``restart_drawn`` records that the draw for the pending step already
+happened, so a walk forwarded after its restart draw does not draw again on
+arrival.  Everything else is pure replay of the serial loop against the
+local shard's rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sampling.frequency import adaptive_neighbor_probabilities
+
+__all__ = ["WalkParams", "WalkTask", "ShardView", "advance_walk"]
+
+
+@dataclass(frozen=True)
+class WalkParams:
+    """Per-pass walk parameters, broadcast once to every shard host."""
+
+    kind: str  # "uniform" (Algorithm 1) or "frequency" (Algorithm 3)
+    target_size: int
+    walk_length: int
+    restart_probability: float
+    direction: str
+    threshold: int = 0
+    decay: float = 1.0
+    use_projected: bool = False
+
+
+@dataclass(slots=True)
+class WalkTask:
+    """One in-flight walk; picklable so it can cross process boundaries."""
+
+    key: int  # walk-local start id: child-stream key AND validation order
+    start: int  # global start node
+    start_owner: int
+    current: int
+    steps: int
+    restart_drawn: bool
+    visited: list[int]
+    generator: np.random.Generator
+    allowed: frozenset[int] | None = None
+    forwards: int = 0
+
+
+class ShardView:
+    """Worker-side wrapper around one shard: rows, residency, snapshots."""
+
+    def __init__(self, shard) -> None:
+        self.shard = shard
+        self.shard_id = shard.shard_id
+        # Stage-2 availability mask over GLOBAL ids (bool[num_global_nodes])
+        # or None when walking the full graph.
+        self.availability: np.ndarray | None = None
+        # Live-count snapshot over GLOBAL ids, shared across hosts (the
+        # chunk-synchronous frequency snapshot of sampling/parallel.py).
+        self.snapshot: np.ndarray | None = None
+        # Projected CSR installed by the distributed θ-projection:
+        # (out_indptr, out_local, out_weights, in_indptr, in_local, in_weights)
+        self.projection: tuple | None = None
+
+    # ------------------------------------------------------------------ #
+    # residency
+    # ------------------------------------------------------------------ #
+    def is_owned(self, node: int) -> bool:
+        return self.shard.is_owned(node)
+
+    def owner_of(self, node: int) -> int:
+        return self.shard.owner_of(node)
+
+    # ------------------------------------------------------------------ #
+    # rows
+    # ------------------------------------------------------------------ #
+    def _out_row(self, node: int, use_projected: bool) -> np.ndarray:
+        if use_projected and self.projection is not None:
+            indptr, local, _ = self.projection[0], self.projection[1], None
+            pos = self.shard.owned_position(node)
+            window = slice(int(indptr[pos]), int(indptr[pos + 1]))
+            return self.shard.global_ids[local[window]]
+        row, _ = self.shard.out_row(node)
+        return row
+
+    def _in_row(self, node: int, use_projected: bool) -> np.ndarray:
+        if use_projected and self.projection is not None:
+            indptr, local = self.projection[3], self.projection[4]
+            pos = self.shard.owned_position(node)
+            window = slice(int(indptr[pos]), int(indptr[pos + 1]))
+            return self.shard.global_ids[local[window]]
+        row, _ = self.shard.in_row(node)
+        return row
+
+    def walk_candidates(
+        self, node: int, direction: str, use_projected: bool
+    ) -> np.ndarray:
+        """Global candidate ids, ordered exactly as the serial walker sees
+        them: row order for "out"/"in", sorted-unique for "both"."""
+        if direction == "out":
+            return self._out_row(node, use_projected)
+        if direction == "in":
+            return self._in_row(node, use_projected)
+        out_row = self._out_row(node, use_projected)
+        in_row = self._in_row(node, use_projected)
+        if len(out_row) == 0 and len(in_row) == 0:
+            return out_row
+        return np.unique(np.concatenate([out_row, in_row]))
+
+    def ball_neighbors(self, node: int, direction: str, use_projected: bool) -> np.ndarray:
+        """Neighbour multiset for BFS ball growth (set semantics: order and
+        duplicates do not matter, matching ``k_hop_nodes``)."""
+        if direction == "out":
+            return self._out_row(node, use_projected)
+        if direction == "in":
+            return self._in_row(node, use_projected)
+        return np.concatenate(
+            [self._out_row(node, use_projected), self._in_row(node, use_projected)]
+        )
+
+    def induced_arcs(
+        self, nodes_sorted: np.ndarray, use_projected: bool
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Arcs of the induced subgraph on ``nodes_sorted`` whose source
+        this shard owns, as ``(sources, targets, weights)`` in ascending
+        source order with original within-row order preserved."""
+        members = np.intersect1d(self.shard.owned, nodes_sorted, assume_unique=True)
+        sources: list[np.ndarray] = []
+        targets: list[np.ndarray] = []
+        weights: list[np.ndarray] = []
+        for node in members:
+            node = int(node)
+            if use_projected and self.projection is not None:
+                indptr, local, row_weights = (
+                    self.projection[0],
+                    self.projection[1],
+                    self.projection[2],
+                )
+                pos = self.shard.owned_position(node)
+                window = slice(int(indptr[pos]), int(indptr[pos + 1]))
+                row = self.shard.global_ids[local[window]]
+                row_w = row_weights[window]
+            else:
+                row, row_w = self.shard.out_row(node)
+            if len(row) == 0:
+                continue
+            keep = np.isin(row, nodes_sorted)
+            if not np.any(keep):
+                continue
+            kept = row[keep]
+            sources.append(np.full(len(kept), node, dtype=np.int64))
+            targets.append(kept)
+            weights.append(row_w[keep])
+        if not sources:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), np.empty(0, dtype=np.float64)
+        return (
+            np.concatenate(sources),
+            np.concatenate(targets),
+            np.concatenate(weights),
+        )
+
+
+def _choose(
+    params: WalkParams,
+    view: ShardView,
+    candidates: np.ndarray,
+    generator: np.random.Generator,
+) -> int | None:
+    """Replay of uniform_chooser / make_frequency_chooser, draw-for-draw."""
+    if len(candidates) == 0:
+        return None
+    if params.kind == "uniform":
+        index = int(generator.integers(0, len(candidates)))
+        return int(candidates[index])
+    probabilities = adaptive_neighbor_probabilities(
+        view.snapshot[candidates], params.threshold, params.decay
+    )
+    if probabilities.sum() <= 0:
+        return None
+    choice = generator.choice(len(candidates), p=probabilities)
+    return int(candidates[int(choice)])
+
+
+def advance_walk(walk: WalkTask, params: WalkParams, view: ShardView):
+    """Advance ``walk`` on this shard until it finishes or leaves.
+
+    Returns ``("done", nodes_or_None)`` when the walk terminates (success
+    or exhausted walk budget) or ``("forward", dest_shard)`` when the
+    current node belongs to another shard; the caller forwards the mutated
+    task there.  Mirrors ``random_walk_nodes`` step-for-step.
+    """
+    generator = walk.generator
+    visited = walk.visited
+    visited_set = set(visited)
+    if params.target_size == 1:
+        return ("done", list(visited))
+    while walk.steps < params.walk_length:
+        if not walk.restart_drawn:
+            if generator.random() < params.restart_probability:
+                walk.current = walk.start
+            walk.restart_drawn = True
+        current = walk.current
+        if not view.is_owned(current):
+            # A restart can teleport to a start node this shard has never
+            # seen (not even as a halo); its owner travels with the task.
+            if current == walk.start:
+                return ("forward", walk.start_owner)
+            return ("forward", view.owner_of(current))
+        candidates = view.walk_candidates(current, params.direction, params.use_projected)
+        if view.availability is not None and len(candidates):
+            candidates = candidates[view.availability[candidates]]
+        if walk.allowed is not None and len(candidates):
+            keep = np.fromiter(
+                (int(candidate) in walk.allowed for candidate in candidates),
+                dtype=bool,
+                count=len(candidates),
+            )
+            candidates = candidates[keep]
+        next_node = _choose(params, view, candidates, generator)
+        walk.restart_drawn = False
+        walk.steps += 1
+        if next_node is None:
+            walk.current = walk.start
+            continue
+        walk.current = next_node
+        if next_node not in visited_set:
+            visited.append(next_node)
+            visited_set.add(next_node)
+            if len(visited) == params.target_size:
+                return ("done", list(visited))
+    return ("done", None)

@@ -33,6 +33,7 @@ from repro.sampling.store import (
     INDEX_NAME,
     SubgraphStore,
     SubgraphStoreWriter,
+    merge_stores,
 )
 from repro.utils.rng import restore_rng_state, serialize_rng_state
 
@@ -200,6 +201,99 @@ class TestWriterGuards:
             ]
             assert len(shards) > 1
             assert len(store) == len(container)
+
+
+class TestMergeStores:
+    def _split_stores(self, container, tmp_path, parts=3, sequenced=True):
+        """Round-robin the pool into ``parts`` stores, recording each
+        record's global emission sequence number in the store meta."""
+        writers = [
+            SubgraphStoreWriter(tmp_path / f"part-{i}") for i in range(parts)
+        ]
+        sequences: list[list[int]] = [[] for _ in range(parts)]
+        for index, subgraph in enumerate(container):
+            writers[index % parts].add(subgraph)
+            sequences[index % parts].append(index)
+        stores = []
+        for i, writer in enumerate(writers):
+            if sequenced:
+                writer.set_meta("sequence", sequences[i])
+            stores.append(writer.finalize())
+        paths = [store.path for store in stores]
+        for store in stores:
+            store.close()
+        return paths
+
+    def test_sequenced_merge_restores_emission_order(self, pool, tmp_path):
+        _, container = pool
+        paths = self._split_stores(container, tmp_path)
+        merged = merge_stores(paths, tmp_path / "merged")
+        try:
+            assert len(merged) == len(container)
+            for ours, theirs in zip(merged, container):
+                assert_subgraphs_equal(ours, theirs)
+            assert merged.meta["num_sources"] == 3
+        finally:
+            merged.close()
+
+    def test_unsequenced_merge_concatenates_in_path_order(self, pool, tmp_path):
+        _, container = pool
+        paths = self._split_stores(container, tmp_path, parts=2, sequenced=False)
+        merged = merge_stores(paths, tmp_path / "merged")
+        try:
+            expected = [s for i, s in enumerate(container) if i % 2 == 0]
+            expected += [s for i, s in enumerate(container) if i % 2 == 1]
+            assert len(merged) == len(expected)
+            for ours, theirs in zip(merged, expected):
+                assert_subgraphs_equal(ours, theirs)
+        finally:
+            merged.close()
+
+    def test_duplicate_record_rejected(self, pool, tmp_path):
+        """A subgraph present in two input stores would double-count
+        occurrences; the merge must refuse, not silently keep both."""
+        _, container = pool
+        first = list(container)[:4]
+        write_store(first, tmp_path / "a").close()
+        write_store(first[2:], tmp_path / "b").close()
+        with pytest.raises(SamplingError, match="duplicate subgraph record"):
+            merge_stores([tmp_path / "a", tmp_path / "b"], tmp_path / "merged")
+        assert not os.path.exists(tmp_path / "merged" / INDEX_NAME)
+
+    def test_duplicate_sequence_numbers_rejected(self, pool, tmp_path):
+        _, container = pool
+        subgraphs = list(container)
+        for name, batch in (("a", subgraphs[:2]), ("b", subgraphs[2:4])):
+            writer = SubgraphStoreWriter(tmp_path / name)
+            for subgraph in batch:
+                writer.add(subgraph)
+            writer.set_meta("sequence", [0, 1])  # collides across stores
+            writer.finalize().close()
+        with pytest.raises(SamplingError, match="duplicate emission sequence"):
+            merge_stores([tmp_path / "a", tmp_path / "b"], tmp_path / "merged")
+
+    def test_occurrence_audit_passes_at_true_bound(self, pool, tmp_path):
+        graph, container = pool
+        paths = self._split_stores(container, tmp_path)
+        merged = merge_stores(
+            paths,
+            tmp_path / "merged",
+            expected_max_occurrence=4,  # the pool's threshold M
+            num_original_nodes=graph.num_nodes,
+        )
+        merged.close()
+
+    def test_occurrence_audit_failure_removes_output(self, pool, tmp_path):
+        graph, container = pool
+        paths = self._split_stores(container, tmp_path)
+        with pytest.raises(SamplingError, match="occurrence bound"):
+            merge_stores(
+                paths,
+                tmp_path / "merged",
+                expected_max_occurrence=0,
+                num_original_nodes=graph.num_nodes,
+            )
+        assert not os.path.exists(tmp_path / "merged")
 
 
 class TestFaultInjection:
