@@ -458,6 +458,156 @@ def merge_worker_gate(args, iterations: int) -> int:
     return 0
 
 
+def merge_transport_gates(args, iterations: int) -> int:
+    """Measure the shard-transport arms on this machine and merge a
+    ``sharded_transport`` section into an existing summary JSON.
+
+    Two gates, in the spirit of :func:`merge_worker_gate`:
+
+    * ``tcp_vs_fork_overhead`` — the TCP-localhost transport (spawned
+      ``repro shard-host`` loopback servers, checksummed frames, the
+      no-pickle codec) must finish the sharded sampling pass within 1.5x
+      the forked-pipe transport's wall time on the 10x probe graph.
+      Always enforced: frame encoding is pure CPU work, so a single-core
+      machine measures it honestly.
+    * ``sharded4x4_vs_serial`` — 4 shards x 4 workers must beat the
+      serial sampler by >= 1.3x.  Enforced only with >= 4 CPU cores;
+      with fewer, the honest number is recorded with a ``skip_reason``
+      instead of a fabricated pass.
+
+    Whatever the machine shape, every arm's container is checked
+    bit-identical to the serial sampler first — a transport that wins by
+    sampling differently has no number worth recording.
+    """
+    import numpy as np
+
+    from repro.sharding import build_shard_set, sample_dual_stage_sharded
+
+    output = os.path.abspath(args.output)
+    with open(output, encoding="utf-8") as handle:
+        summary = json.load(handle)
+
+    cpu_count = os.cpu_count() or 1
+    nodes = args.transport_nodes or args.sharded_base * 10
+    graph = powerlaw_cluster_graph(nodes, 3, 0.3, rng=bench_seed())
+    config = DualStageSamplingConfig(**SHARDED_PROBE_CONFIG)
+    shard_set = build_shard_set(graph, SHARDED_PROBE_SHARDS, rng=bench_seed())
+    print(
+        f"merge-transport-gates: |V|={nodes} shards={SHARDED_PROBE_SHARDS} "
+        f"| {cpu_count} cores"
+    )
+
+    start = time.perf_counter()
+    serial = extract_subgraphs_dual_stage(graph, config, bench_seed())
+    serial_seconds = time.perf_counter() - start
+    print(f"  serial               -> {serial_seconds:7.3f}s "
+          f"({len(serial.container)} subgraphs)")
+
+    arms = {}
+    for transport in ("fork", "tcp"):
+        start = time.perf_counter()
+        run = sample_dual_stage_sharded(
+            shard_set,
+            config,
+            rng=bench_seed(),
+            workers=SHARDED_PROBE_SHARDS,
+            transport=transport,
+        )
+        elapsed = time.perf_counter() - start
+        identical = len(run.container) == len(serial.container) and all(
+            np.array_equal(a.node_map, b.node_map) and a.graph == b.graph
+            for a, b in zip(run.container, serial.container)
+        ) and np.array_equal(run.frequency.counts, serial.frequency.counts)
+        arms[transport] = (elapsed, run, identical)
+        wire = ""
+        if transport == "tcp":
+            wire = (
+                f", {run.stats.frames_sent + run.stats.frames_received} frames"
+                f", {run.stats.bytes_sent + run.stats.bytes_received} bytes"
+            )
+        print(
+            f"  {transport:4s} workers={SHARDED_PROBE_SHARDS}       -> "
+            f"{elapsed:7.3f}s (identical={identical}{wire})"
+        )
+
+    if not all(identical for _, _, identical in arms.values()):
+        print(
+            "TRANSPORT MISMATCH: a sharded arm diverged from the serial "
+            "sampler; its timing is meaningless",
+            file=sys.stderr,
+        )
+        return 1
+
+    fork_seconds, _, _ = arms["fork"]
+    tcp_seconds, tcp_run, _ = arms["tcp"]
+    overhead = tcp_seconds / fork_seconds
+    overhead_gate = {
+        "threshold": 1.5,
+        "ratio": round(overhead, 3),
+        "enforced": True,
+        "passed": overhead <= 1.5,
+    }
+    scaling = serial_seconds / fork_seconds
+    scaling_enforced = cpu_count >= 4
+    scaling_gate = {
+        "threshold": 1.3,
+        "ratio": round(scaling, 3),
+        "enforced": scaling_enforced,
+        "passed": scaling >= 1.3,
+    }
+    if not scaling_enforced:
+        scaling_gate["skip_reason"] = (
+            f"requires >= 4 CPU cores, machine has {cpu_count}"
+        )
+
+    summary["sharded_transport"] = {
+        "pipeline": "partition -> sharded dual-stage sampling, serial vs "
+                    "fork pipes vs TCP-localhost shard hosts",
+        "graph_size": nodes,
+        "num_shards": SHARDED_PROBE_SHARDS,
+        "workers": SHARDED_PROBE_SHARDS,
+        "cpu_count": cpu_count,
+        "sampling": SHARDED_PROBE_CONFIG,
+        "num_subgraphs": len(serial.container),
+        "containers_identical": True,
+        "serial_seconds": round(serial_seconds, 3),
+        "fork_seconds": round(fork_seconds, 3),
+        "tcp_seconds": round(tcp_seconds, 3),
+        "tcp_frames": tcp_run.stats.frames_sent + tcp_run.stats.frames_received,
+        "tcp_bytes": tcp_run.stats.bytes_sent + tcp_run.stats.bytes_received,
+        "exchange_rounds": tcp_run.stats.exchange_rounds,
+        "gates": {
+            "tcp_vs_fork_overhead": overhead_gate,
+            "sharded4x4_vs_serial": scaling_gate,
+        },
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"gate tcp/fork overhead: {overhead:.2f}x (threshold 1.5x, enforced)"
+    )
+    print(
+        f"gate sharded 4x4/serial: {scaling:.2f}x (threshold 1.3x, "
+        f"{'enforced' if scaling_enforced else 'not enforced'}, "
+        f"{cpu_count} cores)"
+    )
+    print(f"merged into {output}")
+
+    failures = []
+    if overhead_gate["enforced"] and not overhead_gate["passed"]:
+        failures.append(
+            f"TCP-localhost sampling is {overhead:.2f}x fork wall time (> 1.5x)"
+        )
+    if scaling_gate["enforced"] and not scaling_gate["passed"]:
+        failures.append(
+            f"sharded 4x4 is only {scaling:.2f}x the serial sampler (< 1.3x)"
+        )
+    for failure in failures:
+        print(f"REGRESSION GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -517,6 +667,17 @@ def main(argv=None) -> int:
              "runners with more cores than the machine that wrote the file)",
     )
     parser.add_argument(
+        "--merge-transport-gates", action="store_true",
+        help="re-measure the shard-transport arms (serial vs fork vs "
+             "TCP-localhost) on this machine and merge a sharded_transport "
+             "section into an existing --output JSON",
+    )
+    parser.add_argument(
+        "--transport-nodes", type=int, default=None,
+        help="graph size for --merge-transport-gates "
+             "(default: 10x --sharded-base)",
+    )
+    parser.add_argument(
         "--rss-base", type=int, default=300,
         help="base pool size for the RSS flatness probes (default: 300; "
              "the large arm is 10x this)",
@@ -546,6 +707,9 @@ def main(argv=None) -> int:
 
     if args.merge_gates:
         return merge_worker_gate(args, iterations)
+
+    if args.merge_transport_gates:
+        return merge_transport_gates(args, iterations)
 
     if args.time_only:
         # Subprocess arm: serial defaults only, APIs common to both trees.

@@ -91,6 +91,14 @@ class PrivIMConfig:
             partitioned every run.
         shard_method: partition assignment method (``"bfs"`` or
             ``"hash"``) when the shard set has to be built.
+        shard_transport: shard channel when sharding is active —
+            ``"local"`` (in-process), ``"fork"`` (forked pipe workers), or
+            ``"tcp"`` (socket shard hosts).  ``None`` (default) picks
+            local for one worker, fork beyond.  Another pure throughput
+            knob: every transport samples bit-identically.
+        shard_hosts: comma-separated ``host:port`` list of running
+            ``repro shard-host`` servers for the TCP transport; when
+            unset, TCP spawns loopback hosts itself.
         checkpoint_every: write a crash-safe training checkpoint every this
             many iterations (``None`` disables checkpointing).
         checkpoint_path: training-checkpoint file (``.npz`` appended when
@@ -140,6 +148,8 @@ class PrivIMConfig:
     shard_workers: int = 1
     shard_dir: str | None = None
     shard_method: str = "bfs"
+    shard_transport: str | None = None
+    shard_hosts: str | None = None
     checkpoint_every: int | None = None
     checkpoint_path: str | None = None
     resume: bool = False
@@ -586,6 +596,8 @@ class PrivIM(_BasePipeline):
                 workers=config.shard_workers,
                 obs=self.obs,
                 sink=sink,
+                transport=config.shard_transport,
+                shard_hosts=config.shard_hosts,
             )
         else:
             run = sample_naive(
@@ -643,6 +655,8 @@ class PrivIMStar(_BasePipeline):
                 workers=config.shard_workers,
                 obs=self.obs,
                 sink=sink,
+                transport=config.shard_transport,
+                shard_hosts=config.shard_hosts,
             )
         else:
             run = sample_dual_stage(

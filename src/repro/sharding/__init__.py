@@ -4,8 +4,8 @@ Scales the samplers past single-machine RAM while keeping the DP contract
 exact: the dual-stage occurrence caps ``N_g`` / ``N_g* = M`` are enforced
 *globally* by the coordinator, and sharded sampling is bit-identical to the
 serial single-graph sampler on the reassembled graph for every
-(num_shards, workers) pair — shards and workers are pure throughput knobs,
-never sampling parameters.
+(num_shards, workers, transport) triple — shards, workers, and transports
+are pure throughput knobs, never sampling parameters.
 
 Modules:
 
@@ -15,11 +15,14 @@ Modules:
   ``mmap``.
 * :mod:`~repro.sharding.walker` — resumable walk tasks that carry their
   RNG child stream across shard boundaries.
-* :mod:`~repro.sharding.runtime` — shard hosts, in-process or across
-  worker processes, with a shared-memory snapshot channel.
+* :mod:`~repro.sharding.transport` — pluggable shard channels:
+  in-process, forked pipes, or TCP frame servers with a zero-copy
+  no-pickle codec and pipelined scatter/gather.
+* :mod:`~repro.sharding.runtime` — shard hosts behind the configured
+  transport, with a shared-memory (or shipped) snapshot channel.
 * :mod:`~repro.sharding.coordinator` — :func:`sample_naive_sharded` /
   :func:`sample_dual_stage_sharded`: chunk-synchronous propose/validate
-  across shards with cross-shard frontier exchange.
+  across shards with pipelined cross-shard frontier exchange.
 * :mod:`~repro.sharding.sink` — :class:`ShardedStoreSink`: per-shard
   subgraph stores merged back into emission order.
 """
@@ -31,6 +34,17 @@ from repro.sharding.partition import (
     load_shard,
 )
 from repro.sharding.walker import WalkParams, WalkTask
+from repro.sharding.transport import (
+    ForkPipeTransport,
+    LocalTransport,
+    ShardHostServer,
+    ShardTransport,
+    TcpTransport,
+    TransportStats,
+    pack_message,
+    resolve_transport,
+    unpack_message,
+)
 from repro.sharding.runtime import ShardRuntime
 from repro.sharding.coordinator import (
     ShardedDualStageRun,
@@ -48,6 +62,15 @@ __all__ = [
     "load_shard",
     "WalkParams",
     "WalkTask",
+    "ShardTransport",
+    "LocalTransport",
+    "ForkPipeTransport",
+    "TcpTransport",
+    "ShardHostServer",
+    "TransportStats",
+    "pack_message",
+    "unpack_message",
+    "resolve_transport",
     "ShardRuntime",
     "ShardedSamplingStats",
     "ShardedNaiveRun",

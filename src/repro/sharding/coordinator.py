@@ -27,6 +27,7 @@ what makes the differential tests exact.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -60,6 +61,12 @@ class ShardedSamplingStats(SamplingStats):
     exchange_rounds: int = 0
     shard_seconds: dict[int, float] = field(default_factory=dict)
     shard_walks: dict[int, int] = field(default_factory=dict)
+    transport: str = "local"
+    frames_sent: int = 0
+    frames_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    exchange_wait_seconds: float = 0.0
 
 
 @dataclass
@@ -109,23 +116,36 @@ def _run_walks(
     tasks: list[WalkTask],
     stats: ShardedSamplingStats,
 ) -> dict[int, list[int] | None]:
-    """BSP frontier-exchange loop; returns ``{key: nodes_or_None}``."""
+    """Pipelined frontier-exchange loop; returns ``{key: nodes_or_None}``.
+
+    All initial batches scatter before the first receive, and each poll
+    round forwards whatever walks have come back without waiting for the
+    slowest shard — shard *i*'s outbound batch is serialized while shard
+    *j*'s reply is still in flight.  Every walk carries its own child RNG
+    stream, so the interleaving is pure scheduling: results are identical
+    to the strict BSP loop walk-for-walk.
+    """
     results: dict[int, list[int] | None] = {}
-    pending: dict[int, list[WalkTask]] = {}
+    initial: dict[int, list[WalkTask]] = {}
     for task in tasks:
-        pending.setdefault(int(assignment[task.start]), []).append(task)
-    while pending:
-        responses = runtime.request("walks", pending)
+        initial.setdefault(int(assignment[task.start]), []).append(task)
+    began = time.perf_counter()
+    runtime.scatter("walks", initial)
+    while runtime.outstanding:
+        responses = runtime.poll(block=True)
         stats.exchange_rounds += 1
-        pending = {}
-        for shard_id in sorted(responses):
-            response = responses[shard_id]
+        pending: dict[int, list[WalkTask]] = {}
+        for shard_id, response in sorted(responses, key=lambda item: item[0]):
             for key, nodes in response["finished"]:
                 results[key] = nodes
             for dest in sorted(response["forward"]):
                 walks = response["forward"][dest]
                 stats.frontier_forwards += len(walks)
                 pending.setdefault(int(dest), []).extend(walks)
+        # Per-round coalescing: every forwarded walk bound for the same
+        # shard travels in one batch (one frame per host on the wire).
+        runtime.scatter("walks", pending)
+    stats.exchange_wait_seconds += time.perf_counter() - began
     return results
 
 
@@ -298,6 +318,12 @@ def _distributed_projection(
 def _collect_shard_stats(
     runtime: ShardRuntime, stats: ShardedSamplingStats, obs: Observability
 ) -> None:
+    stats.transport = runtime.transport_name
+    wire = runtime.transport.stats
+    stats.frames_sent = wire.frames_sent
+    stats.frames_received = wire.frames_received
+    stats.bytes_sent = wire.bytes_sent
+    stats.bytes_received = wire.bytes_received
     for shard_id, shard_stats in sorted(runtime.stats().items()):
         stats.shard_seconds[shard_id] = float(shard_stats["seconds"])
         stats.shard_walks[shard_id] = int(shard_stats["walks_advanced"])
@@ -320,6 +346,13 @@ def _publish_sharded_stats(
     obs.counter("sampling.subgraphs_emitted").inc(stats.subgraphs_emitted)
     obs.counter("sampling.sharded.frontier_forwards").inc(stats.frontier_forwards)
     obs.counter("sampling.sharded.exchange_rounds").inc(stats.exchange_rounds)
+    obs.counter("sampling.transport.frames_sent").inc(stats.frames_sent)
+    obs.counter("sampling.transport.frames_received").inc(stats.frames_received)
+    obs.counter("sampling.transport.bytes_sent").inc(stats.bytes_sent)
+    obs.counter("sampling.transport.bytes_received").inc(stats.bytes_received)
+    obs.gauge("sampling.transport.exchange_wait_seconds").set(
+        stats.exchange_wait_seconds
+    )
     obs.gauge("sampling.cap_hit_rate").set(stats.cap_hit_rate)
     obs.event(
         "sampling",
@@ -336,6 +369,12 @@ def _publish_sharded_stats(
         cap_hit_rate=stats.cap_hit_rate,
         frontier_forwards=stats.frontier_forwards,
         exchange_rounds=stats.exchange_rounds,
+        transport=stats.transport,
+        frames_sent=stats.frames_sent,
+        frames_received=stats.frames_received,
+        bytes_sent=stats.bytes_sent,
+        bytes_received=stats.bytes_received,
+        exchange_wait_seconds=stats.exchange_wait_seconds,
         stage_seconds=dict(stats.stage_seconds),
         shard_seconds={str(k): v for k, v in stats.shard_seconds.items()},
     )
@@ -353,13 +392,18 @@ def sample_naive_sharded(
     obs: Observability | None = None,
     sink=None,
     return_projection: bool = False,
+    transport: str | None = None,
+    shard_hosts=None,
 ) -> ShardedNaiveRun:
     """Run Algorithm 1 across edge-cut shards, bit-identical to
     :func:`repro.sampling.sample_naive` on the reassembled graph.
 
     ``workers`` counts shard-worker *processes* (shards are assigned
     round-robin); ``config`` is the usual
-    :class:`~repro.sampling.naive.NaiveSamplingConfig`.
+    :class:`~repro.sampling.naive.NaiveSamplingConfig`; ``transport``
+    picks the shard channel (``local``/``fork``/``tcp``, default: local
+    for one worker, fork beyond) and ``shard_hosts`` lists running
+    ``repro shard-host`` addresses for the TCP backend.
     """
     config.validate()
     obs = ensure_obs(obs)
@@ -373,7 +417,14 @@ def sample_naive_sharded(
     container = SubgraphContainer() if sink is None else sink
     projected_shards = None
 
-    with ShardRuntime(shard_set, workers=workers, snapshot=False) as runtime:
+    with ShardRuntime(
+        shard_set,
+        workers=workers,
+        snapshot=False,
+        transport=transport,
+        shard_hosts=shard_hosts,
+        obs=obs,
+    ) as runtime:
         stats.workers = runtime.workers
         with obs.span("sampling.projection") as span:
             _distributed_projection(runtime, shard_set, config.theta, generator)
@@ -569,10 +620,12 @@ def sample_dual_stage_sharded(
     workers: int = 1,
     obs: Observability | None = None,
     sink=None,
+    transport: str | None = None,
+    shard_hosts=None,
 ) -> ShardedDualStageRun:
     """Run Algorithm 3 across edge-cut shards with globally exact caps,
     bit-identical to :func:`repro.sampling.sample_dual_stage` on the
-    reassembled graph for every (num_shards, workers) pair.
+    reassembled graph for every (num_shards, workers, transport) triple.
     """
     config.validate()
     obs = ensure_obs(obs)
@@ -588,7 +641,14 @@ def sample_dual_stage_sharded(
     frequency = FrequencyVector(num_nodes, config.threshold)
     container = SubgraphContainer() if sink is None else sink
 
-    with ShardRuntime(shard_set, workers=workers, snapshot=True) as runtime:
+    with ShardRuntime(
+        shard_set,
+        workers=workers,
+        snapshot=True,
+        transport=transport,
+        shard_hosts=shard_hosts,
+        obs=obs,
+    ) as runtime:
         stats.workers = runtime.workers
         with obs.span("sampling.stage1") as span:
             stage1_count = _frequency_pass_sharded(

@@ -1,36 +1,49 @@
-"""Shard worker runtime: hosts shards in-process or across processes.
+"""Shard worker runtime: hosts shards behind a pluggable transport.
 
 The coordinator (``repro.sharding.coordinator``) speaks one request shape:
 ``request(kind, {shard_id: payload})`` → ``{shard_id: response}``.  A
 :class:`ShardRuntime` maps shards onto *hosts* — plain objects that answer
 requests against one shard's :class:`~repro.sharding.walker.ShardView` —
-and places hosts either in the coordinator process (``workers == 1``) or
-round-robin across long-lived worker processes connected by pipes.
+and places hosts behind one of three transports
+(:mod:`repro.sharding.transport`):
+
+* ``local`` — hosts in the coordinator process, direct calls;
+* ``fork``  — hosts round-robin across forked worker processes connected
+  by pipes (the historical multi-worker path);
+* ``tcp``   — hosts behind ``repro shard-host`` socket servers speaking
+  the checksummed zero-copy frame protocol, on this machine or others.
 
 Each worker owns only the shards it hosts; when a shard set was loaded
 from disk, workers re-map their shard files themselves, so per-process RSS
 stays bounded by the hosted shards, never the whole graph.  The live-count
 snapshot (the chunk-synchronous frequency snapshot of
 ``sampling/parallel.py``) is published once per chunk through a shared
-memory segment every worker attaches to; if shared memory is unavailable
-the snapshot ships inside a broadcast message instead — slower, but
-bit-identical.
+memory segment every forked worker attaches to; when shared memory is
+unavailable — or the hosts are behind TCP — the snapshot ships inside a
+broadcast frame instead: slower, but bit-identical.
 
 Determinism: requests are dispatched and collected in sorted shard order,
 and every host is a pure function of (shard contents, request payload,
-snapshot), so responses never depend on worker count or scheduling.
+snapshot), so responses never depend on worker count, transport, or
+scheduling.
 """
 
 from __future__ import annotations
 
-import os
 import time
 
 import numpy as np
 
 from repro.errors import SamplingError
+from repro.obs import ensure_obs
 from repro.sampling.parallel import _attach_shared_memory, resolve_workers
 from repro.sharding.partition import GraphShard, ShardSet, load_shard
+from repro.sharding.transport import (
+    ForkPipeTransport,
+    LocalTransport,
+    TcpTransport,
+    resolve_transport,
+)
 from repro.sharding.walker import ShardView, WalkParams, WalkTask, advance_walk
 
 __all__ = ["ShardRuntime"]
@@ -206,7 +219,14 @@ class _ShardHost:
         return True
 
     def _handle_snapshot(self, payload):
-        self.view.snapshot = payload
+        # Own a writable copy: later chunks arrive as sparse deltas
+        # applied in place (frame payloads decode as read-only views).
+        self.view.snapshot = np.array(payload, dtype=np.int64)
+        return True
+
+    def _handle_snapshot_delta(self, payload):
+        indices, values = payload
+        self.view.snapshot[indices] = values
         return True
 
     def _handle_stats(self, payload):
@@ -252,7 +272,7 @@ def _shard_worker_main(connection, shard_specs, snapshot_name) -> None:
 
 
 class ShardRuntime:
-    """Places shard hosts in-process or across worker processes."""
+    """Places shard hosts behind the configured transport."""
 
     def __init__(
         self,
@@ -260,114 +280,117 @@ class ShardRuntime:
         *,
         workers: int = 1,
         snapshot: bool = False,
+        transport: str | None = None,
+        shard_hosts=None,
+        timeout: float | None = None,
+        obs=None,
     ) -> None:
         self.shard_set = shard_set
         self.num_shards = shard_set.num_shards
         self.workers = max(1, min(resolve_workers(workers), self.num_shards))
-        self._hosts: dict[int, _ShardHost] | None = None
-        self._processes: list = []
-        self._connections: list = []
-        self._worker_of: dict[int, int] = {
-            shard_id: shard_id % self.workers for shard_id in range(self.num_shards)
-        }
+        self.obs = ensure_obs(obs)
+        self.transport_name = resolve_transport(transport, self.workers)
         self._segment = None
         self._snapshot_array: np.ndarray | None = None
-        self._ship_snapshot = False
-
-        if snapshot:
-            self._create_snapshot_channel()
-        if self.workers == 1:
-            self._hosts = {
-                shard_id: _ShardHost(shard)
-                for shard_id, shard in enumerate(shard_set.shards)
-            }
-            if self._snapshot_array is not None:
-                for host in self._hosts.values():
-                    host.view.snapshot = self._snapshot_array
-        else:
-            self._start_workers(snapshot)
+        self._snapshot_shipped: np.ndarray | None = None
+        self.transport = None
+        try:
+            if self.transport_name == "local":
+                self.transport = LocalTransport(shard_set)
+                if snapshot:
+                    # In-process hosts share the coordinator's array.
+                    self._snapshot_array = np.zeros(
+                        max(int(shard_set.num_nodes), 1), dtype=np.int64
+                    )
+                    for host in self.transport.hosts.values():
+                        host.view.snapshot = self._snapshot_array
+            elif self.transport_name == "fork":
+                snapshot_name = None
+                if snapshot:
+                    snapshot_name = self._create_snapshot_segment()
+                self.transport = ForkPipeTransport(
+                    shard_set,
+                    self.workers,
+                    snapshot_name=snapshot_name,
+                    obs=self.obs,
+                )
+            else:
+                if snapshot:
+                    self._snapshot_array = np.zeros(
+                        max(int(shard_set.num_nodes), 1), dtype=np.int64
+                    )
+                kwargs = {} if timeout is None else {"timeout": timeout}
+                self.transport = TcpTransport(
+                    shard_set,
+                    hosts=shard_hosts,
+                    workers=self.workers,
+                    obs=self.obs,
+                    **kwargs,
+                )
+        except Exception:
+            self.close()
+            raise
 
     # ------------------------------------------------------------------ #
-    def _create_snapshot_channel(self) -> None:
+    def _create_snapshot_segment(self) -> str | None:
+        """Back the snapshot with shared memory; fall back to shipping."""
         length = max(int(self.shard_set.num_nodes), 1)
-        if self.workers == 1:
-            # In-process hosts share the coordinator's array directly.
-            self._snapshot_array = np.zeros(length, dtype=np.int64)
-            return
         try:
             from multiprocessing import shared_memory
 
-            self._segment = shared_memory.SharedMemory(
-                create=True, size=8 * length
-            )
-            self._snapshot_array = np.frombuffer(
-                self._segment.buf, dtype=np.int64
-            )
+            self._segment = shared_memory.SharedMemory(create=True, size=8 * length)
+            self._snapshot_array = np.frombuffer(self._segment.buf, dtype=np.int64)
             self._snapshot_array[:] = 0
+            return self._segment.name
         except (ImportError, OSError):
             self._segment = None
             self._snapshot_array = np.zeros(length, dtype=np.int64)
-            self._ship_snapshot = True
-
-    def _start_workers(self, snapshot: bool) -> None:
-        import multiprocessing
-
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:
-            context = multiprocessing.get_context("spawn")
-        paths = self.shard_set.shard_paths()
-        specs_by_worker: dict[int, list] = {w: [] for w in range(self.workers)}
-        for shard_id in range(self.num_shards):
-            if paths is not None and os.path.exists(paths[shard_id]):
-                spec = paths[shard_id]
-            else:
-                spec = self.shard_set.shards[shard_id]
-            specs_by_worker[self._worker_of[shard_id]].append((shard_id, spec))
-        snapshot_name = (
-            self._segment.name if (snapshot and self._segment is not None) else None
-        )
-        for worker_index in range(self.workers):
-            parent_end, child_end = context.Pipe()
-            process = context.Process(
-                target=_shard_worker_main,
-                args=(child_end, specs_by_worker[worker_index], snapshot_name),
-                daemon=True,
-            )
-            process.start()
-            child_end.close()
-            self._processes.append(process)
-            self._connections.append(parent_end)
+            return None
 
     # ------------------------------------------------------------------ #
     def write_snapshot(self, counts: np.ndarray) -> None:
-        """Publish the chunk's live-count snapshot to every host."""
+        """Publish the chunk's live-count snapshot to every host.
+
+        Shared-memory transports see the in-place write immediately.  A
+        shipping transport gets the full array once, then per-chunk sparse
+        deltas — between chunks only the nodes of the chunk's accepted
+        subgraphs change, so the delta is tiny next to the snapshot.
+        """
         if self._snapshot_array is None:
             raise SamplingError("runtime was created without a snapshot channel")
-        self._snapshot_array[: len(counts)] = counts
-        if self._hosts is not None:
+        if not self.transport.ships_snapshot:
+            self._snapshot_array[: len(counts)] = counts
             return
-        if self._ship_snapshot:
+        if self._snapshot_shipped is None:
+            self._snapshot_array[: len(counts)] = counts
             self.broadcast("snapshot", self._snapshot_array.copy())
+            self._snapshot_shipped = self._snapshot_array.copy()
+            return
+        previous = self._snapshot_shipped[: len(counts)]
+        changed = np.flatnonzero(previous != counts)
+        self._snapshot_array[: len(counts)] = counts
+        if changed.size:
+            values = np.asarray(counts)[changed]
+            self.broadcast("snapshot_delta", (changed, values))
+            previous[changed] = values
 
     def request(self, kind: str, payload_by_shard: dict[int, object]) -> dict[int, object]:
         """Send one request per addressed shard; gather responses."""
         if not payload_by_shard:
             return {}
-        if self._hosts is not None:
-            return {
-                shard_id: self._hosts[shard_id].handle(kind, payload)
-                for shard_id, payload in sorted(payload_by_shard.items())
-            }
-        by_worker: dict[int, dict[int, object]] = {}
-        for shard_id, payload in payload_by_shard.items():
-            by_worker.setdefault(self._worker_of[shard_id], {})[shard_id] = payload
-        for worker_index in sorted(by_worker):
-            self._connections[worker_index].send((kind, by_worker[worker_index]))
-        responses: dict[int, object] = {}
-        for worker_index in sorted(by_worker):
-            responses.update(self._connections[worker_index].recv())
-        return responses
+        return self.transport.request(kind, payload_by_shard)
+
+    def scatter(self, kind: str, payload_by_shard: dict[int, object]) -> None:
+        """Enqueue requests without waiting; drain them with :meth:`poll`."""
+        self.transport.scatter(kind, payload_by_shard)
+
+    def poll(self, block: bool = True) -> list[tuple[int, object]]:
+        """Collect ``(shard_id, response)`` pairs as they arrive."""
+        return self.transport.poll(block=block)
+
+    @property
+    def outstanding(self) -> int:
+        return self.transport.outstanding
 
     def broadcast(self, kind: str, payload) -> dict[int, object]:
         return self.request(
@@ -379,35 +402,21 @@ class ShardRuntime:
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        for connection in self._connections:
-            try:
-                connection.send(None)
-            except (BrokenPipeError, OSError):
-                pass
-        for process in self._processes:
-            process.join(timeout=5.0)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=5.0)
-        for connection in self._connections:
-            try:
-                connection.close()
-            except OSError:
-                pass
-        self._connections = []
-        self._processes = []
-        if self._hosts is not None:
-            for host in self._hosts.values():
-                host.view.snapshot = None
-            self._hosts = None
-        if self._segment is not None:
+        try:
+            if self.transport is not None:
+                self.transport.close()
+                self.transport = None
+        finally:
+            # Shared memory must unlink on every path — a failed transport
+            # teardown must not leak the segment.
             self._snapshot_array = None
-            try:
-                self._segment.close()
-                self._segment.unlink()
-            except (FileNotFoundError, OSError):
-                pass
-            self._segment = None
+            if self._segment is not None:
+                try:
+                    self._segment.close()
+                    self._segment.unlink()
+                except (FileNotFoundError, OSError):
+                    pass
+                self._segment = None
 
     def __enter__(self) -> "ShardRuntime":
         return self

@@ -86,6 +86,40 @@ class TestDualStageSharded:
             assert stats.frontier_forwards > 0
             assert stats.exchange_rounds > 0
 
+    @pytest.mark.parametrize("transport", ["local", "fork", "tcp"])
+    def test_transport_bit_identical(self, graph, reference, transport):
+        """Transports are pure channels: local calls, forked pipes, and TCP
+        frames all reproduce the serial sampler bit-for-bit."""
+        shard_set = build_shard_set(graph, 3, rng=1)
+        workers = 1 if transport == "local" else 2
+        run = sample_dual_stage_sharded(
+            shard_set, DUAL_CONFIG, rng=7, workers=workers, transport=transport
+        )
+        assert_containers_identical(run.container, reference.container)
+        np.testing.assert_array_equal(
+            run.frequency.counts, reference.frequency.counts
+        )
+        assert run.stats.transport == transport
+        if transport == "tcp":
+            assert run.stats.frames_sent > 0
+            assert run.stats.bytes_sent > 0
+            assert run.stats.frames_received > 0
+            assert run.stats.bytes_received > 0
+
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_tcp_grid_bit_identical(self, graph, reference, num_shards, workers):
+        """The TCP arm of the differential grid: shard and host counts are
+        throughput knobs over the wire too."""
+        shard_set = build_shard_set(graph, num_shards, rng=1)
+        run = sample_dual_stage_sharded(
+            shard_set, DUAL_CONFIG, rng=7, workers=workers, transport="tcp"
+        )
+        assert_containers_identical(run.container, reference.container)
+        np.testing.assert_array_equal(
+            run.frequency.counts, reference.frequency.counts
+        )
+
     def test_partition_method_is_irrelevant(self, graph, reference):
         """The assignment is a layout choice: hash shards sample the same."""
         shard_set = build_shard_set(graph, 3, method="hash", rng=99)
@@ -160,6 +194,43 @@ class TestNaiveSharded:
         run = sample_naive_sharded(shard_set, NAIVE_CONFIG, rng=13, workers=2)
         assert_containers_identical(run.container, reference.container)
 
+    def test_tcp_transport_identical(self, graph, reference):
+        shard_set = build_shard_set(graph, 3, rng=1)
+        run = sample_naive_sharded(
+            shard_set, NAIVE_CONFIG, rng=13, workers=2, transport="tcp"
+        )
+        assert_containers_identical(run.container, reference.container)
+        assert run.stats.transport == "tcp"
+
+
+class TestTransportFaults:
+    """Misbehaving shard hosts must surface as a clean SamplingError at
+    the sampler API — never a hang, never a partial result."""
+
+    def test_host_death_mid_run_is_clean_error(self, graph):
+        from tests.test_shard_transport import _ScriptedHost
+
+        shard_set = build_shard_set(graph, 2, rng=1)
+        host = _ScriptedHost("die", shards=[0, 1])
+        try:
+            with pytest.raises(SamplingError, match="closed the connection"):
+                sample_dual_stage_sharded(
+                    shard_set,
+                    DUAL_CONFIG,
+                    rng=7,
+                    transport="tcp",
+                    shard_hosts=host.spec,
+                )
+        finally:
+            host.close()
+
+    def test_unknown_transport_rejected_before_any_work(self, graph):
+        shard_set = build_shard_set(graph, 2, rng=1)
+        with pytest.raises(SamplingError, match="unknown shard transport"):
+            sample_dual_stage_sharded(
+                shard_set, DUAL_CONFIG, rng=7, transport="smoke-signals"
+            )
+
 
 class TestShardedSink:
     def test_merged_store_matches_serial_emission(self, graph, tmp_path):
@@ -192,6 +263,48 @@ class TestShardedSink:
                 expected_max_occurrence=0,
                 num_original_nodes=graph.num_nodes,
             )
+
+
+class TestTcpStoreTrainEndToEnd:
+    def test_tcp_sampled_store_trains_identical_to_flat(self, graph, tmp_path):
+        """The full multi-host workflow — partition, sample over TCP into
+        per-shard stores, merge, train — is byte-identical to sampling and
+        training on the flat graph, including a mid-run checkpoint resume."""
+        from tests.oracles import (
+            assert_outcomes_identical,
+            resumed_outcome,
+            train_outcome,
+        )
+
+        reference = sample_dual_stage(graph, DUAL_CONFIG, rng=7)
+        oracle = train_outcome(reference.container, iterations=4)
+        shard_set = build_shard_set(graph, 3, rng=1)
+        sink = ShardedStoreSink(
+            str(tmp_path / "shards"), shard_set.assignment, 3
+        )
+        sample_dual_stage_sharded(
+            shard_set, DUAL_CONFIG, rng=7, sink=sink, transport="tcp", workers=2
+        )
+        merged = sink.finalize_merged(
+            str(tmp_path / "merged"),
+            expected_max_occurrence=DUAL_CONFIG.threshold,
+            num_original_nodes=graph.num_nodes,
+        )
+        try:
+            assert_containers_identical(merged, reference.container)
+            candidate = train_outcome(merged, iterations=4)
+            assert_outcomes_identical(candidate, oracle, label="tcp-sampled store")
+            resumed = resumed_outcome(
+                merged,
+                split_at=2,
+                iterations=4,
+                checkpoint_path=str(tmp_path / "resume.ckpt"),
+            )
+            assert_outcomes_identical(
+                resumed, oracle, label="tcp-sampled store resume"
+            )
+        finally:
+            merged.close()
 
 
 class TestPipelineSharded:
